@@ -1,0 +1,36 @@
+//! E1 bench: wall-clock cost of the slowdown experiment (per backup mode),
+//! plus the simulated-throughput comparison it produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::SimDuration;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_slowdown");
+    group.sample_size(10);
+    for mode in [
+        BackupMode::None,
+        BackupMode::AdcConsistencyGroup,
+        BackupMode::Sdc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut rig = TwoSiteRig::new(RigConfig {
+                        seed: 1,
+                        mode,
+                        ..Default::default()
+                    });
+                    rig.run_workload_for(SimDuration::from_millis(50));
+                    criterion::black_box(rig.committed_orders())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 bench: one surprise-failure drill per mode (build, run, fail,
+//! failover, recover, verify).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::{SimDuration, SimTime};
+
+fn drill(mode: BackupMode, seed: u64) -> bool {
+    let mut cfg = RigConfig {
+        seed,
+        mode,
+        ..Default::default()
+    };
+    cfg.engine.pump_jitter = SimDuration::from_millis(2);
+    let mut rig = TwoSiteRig::new(cfg);
+    let fail_at = SimTime::from_millis(60);
+    rig.schedule_main_failure(fail_at);
+    tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+    rig.sim
+        .run_until(&mut rig.world, fail_at + SimDuration::from_millis(100));
+    let (consistency, _) = rig.failover(fail_at);
+    consistency.is_consistent()
+}
+
+fn bench_drills(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_collapse_drill");
+    group.sample_size(10);
+    for mode in [BackupMode::AdcConsistencyGroup, BackupMode::AdcPerVolume] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    criterion::black_box(drill(mode, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drills);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 bench: an RPO measurement run at two bandwidths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::{SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+
+fn rpo_run(mbps: u64) -> u64 {
+    let mut cfg = RigConfig {
+        seed: 3,
+        mode: BackupMode::AdcConsistencyGroup,
+        ..Default::default()
+    };
+    cfg.link = LinkConfig::with(SimDuration::from_millis(5), mbps * 1_000_000 / 8);
+    let mut rig = TwoSiteRig::new(cfg);
+    let fail_at = SimTime::from_millis(60);
+    rig.schedule_main_failure(fail_at);
+    tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+    rig.sim
+        .run_until(&mut rig.world, fail_at + SimDuration::from_millis(120));
+    let (_, rpo) = rig.failover(fail_at);
+    rpo.lost_writes
+}
+
+fn bench_rpo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_rpo");
+    group.sample_size(10);
+    for mbps in [100u64, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(mbps), &mbps, |b, &mbps| {
+            b.iter(|| criterion::black_box(rpo_run(mbps)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpo);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 bench: snapshot-group creation and analytics over the frozen image.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::{SimDuration, SimTime};
+
+fn bench_snapshot_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_snapshot");
+    group.sample_size(10);
+    group.bench_function("group_snapshot_plus_analytics", |b| {
+        b.iter(|| {
+            let mut rig = TwoSiteRig::new(RigConfig {
+                seed: 4,
+                mode: BackupMode::AdcConsistencyGroup,
+                ..Default::default()
+            });
+            tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+            rig.sim.run_until(&mut rig.world, SimTime::from_millis(60));
+            let snaps = rig.snapshot_backup_group("bench");
+            rig.sim.run_for(&mut rig.world, SimDuration::from_millis(40));
+            let report = rig.analytics_on_snapshots(&snaps, 5).expect("consistent");
+            criterion::black_box(report.order_count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_analytics);
+criterion_main!(benches);

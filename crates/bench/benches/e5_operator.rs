@@ -1,0 +1,22 @@
+//! E5 bench: operator convergence cost as the namespace scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsuru_core::experiments::e5_operator;
+
+fn bench_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_operator");
+    group.sample_size(10);
+    for n in [4usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let rows = e5_operator(&[n]);
+                assert!(rows[0].converged);
+                criterion::black_box(rows[0].pairs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E6 bench: the complete three-step demonstration plus disaster drill.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsuru_core::experiments::e6_demo;
+
+fn bench_demo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_demo");
+    group.sample_size(10);
+    group.bench_function("full_demo", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = e6_demo(seed);
+            assert!(out.failover_consistent);
+            criterion::black_box(out.committed_orders)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_demo);
+criterion_main!(benches);

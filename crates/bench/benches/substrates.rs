@@ -1,0 +1,69 @@
+//! Microbenchmarks of the substrates: DES kernel, B+tree, WAL, checksum,
+//! histogram — guards against regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsuru_minidb::{crc32, DbConfig, MiniDb, TableId};
+use tsuru_sim::{DetRng, Histogram, Sim, SimDuration, SimTime};
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("sim_kernel_100k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut count = 0u64;
+            fn tick(c: &mut u64, sim: &mut Sim<u64>) {
+                *c += 1;
+                if *c < 100_000 {
+                    sim.schedule_in(SimDuration::from_nanos(10), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            sim.run(&mut count);
+            criterion::black_box(count)
+        });
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minidb");
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("commit_n_rows", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut db, _) = MiniDb::create(
+                    "bench",
+                    DbConfig {
+                        data_blocks: 65_536,
+                        wal_blocks: 8_192,
+                        checkpoint_threshold: 0.8,
+                    },
+                );
+                for i in 0..n {
+                    let tx = db.begin();
+                    db.put(tx, TableId(1), i, &i.to_le_bytes());
+                    criterion::black_box(db.commit(tx).total_writes());
+                }
+                criterion::black_box(db.last_lsn())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc_and_hist(c: &mut Criterion) {
+    let block = vec![0xA5u8; 4096];
+    c.bench_function("crc32_4k_block", |b| {
+        b.iter(|| criterion::black_box(crc32(&block)));
+    });
+    c.bench_function("histogram_record_quantile", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for _ in 0..10_000 {
+                h.record(rng.gen_range(1_000_000_000));
+            }
+            criterion::black_box(h.quantile(0.99))
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernel, bench_btree, bench_crc_and_hist);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! The experiment reproduction harness.
+//!
+//! Regenerates every table/figure reproduction from DESIGN.md §4:
+//!
+//! ```text
+//! cargo run -p tsuru-bench --release --bin repro           # everything
+//! cargo run -p tsuru-bench --release --bin repro e1 e5     # a subset
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::Path;
+
+use tsuru_bench::{render_a1, render_a2, render_e7, render_e1, render_e2, render_e3, render_e4, render_e5};
+use tsuru_core::experiments::{
+    a1_backup_lag, a2_journal_policy, e1_slowdown, e2_collapse, e3_rpo, e4_snapshot, e5_operator,
+    e6_demo, e7_three_dc,
+};
+use tsuru_sim::SimDuration;
+
+/// When `--csv` is passed, tables are also written under `repro_out/`.
+fn maybe_csv(name: &str, table: &str) {
+    if std::env::args().any(|a| a == "--csv") {
+        let dir = Path::new("repro_out");
+        let _ = fs::create_dir_all(dir);
+        let path = dir.join(format!("{name}.csv"));
+        if fs::write(&path, tsuru_bench::table_to_csv(table)).is_ok() {
+            println!("   (series written to {})", path.display());
+        }
+    }
+}
+
+fn run_e1() {
+    println!("== E1: no system slowdown (claim C1) — latency/throughput vs backup mode ==");
+    println!("   closed-loop order workload, 8 clients; link 1 Gbit/s; 400 ms simulated\n");
+    let rows = e1_slowdown(42, &[1, 2, 10, 25, 50], SimDuration::from_millis(400));
+    let table = render_e1(&rows);
+    println!("{table}");
+    maybe_csv("e1", &table);
+    println!("expect: adc-cg ≈ none at every RTT; sdc p50 ≳ 2×RTT and tps collapses.\n");
+}
+
+fn run_e2() {
+    println!("== E2: backup collapse (claims C2/C3) — consistency group vs naive ADC ==");
+    println!("   30 surprise-failure drills per mode; 2 ms replication-session skew\n");
+    let rows = e2_collapse(1000, 30, SimDuration::from_millis(2));
+    let table = render_e2(&rows);
+    println!("{table}");
+    maybe_csv("e2", &table);
+    println!(
+        "expect: adc-cg collapses 0/30 (both checks); adc-naive violates write-order\n\
+         fidelity in nearly every drill and corrupts the business state in many.\n"
+    );
+}
+
+fn run_e3() {
+    println!("== E3: recovery point vs link bandwidth and journal capacity (§III-A1) ==");
+    println!("   main-site failure at t=150 ms; ADC journal Block policy; SDC reference\n");
+    let rows = e3_rpo(7, &[50, 100, 500, 1000], &[1, 64]);
+    let table = render_e3(&rows);
+    println!("{table}");
+    maybe_csv("e3", &table);
+    println!(
+        "expect: lost orders and RPO shrink as bandwidth grows; a tiny journal on a\n\
+         slow link stalls the host (stalls > 0, p99 inflated); sdc loses nothing.\n"
+    );
+}
+
+fn run_e4() {
+    println!("== E4: snapshot groups make backup data usable (§III-A2, Figs. 5–6) ==");
+    println!("   snapshots taken at the backup site at t=150 ms, workload continues\n");
+    let rows = e4_snapshot(11);
+    let table = render_e4(&rows);
+    println!("{table}");
+    maybe_csv("e4", &table);
+    println!(
+        "expect: the atomic group snapshot yields a consistent analytics image while\n\
+         replication keeps running (cow_saves > 0); non-atomic per-volume snapshots\n\
+         can interleave with apply and break the cross-DB invariant.\n"
+    );
+}
+
+fn run_e5() {
+    println!("== E5: namespace-operator automation (§III-B1, Figs. 3–4) ==");
+    println!("   tag one namespace; measure configuration effort as volumes scale\n");
+    let rows = e5_operator(&[2, 4, 10, 50, 100, 200]);
+    let table = render_e5(&rows);
+    println!("{table}");
+    maybe_csv("e5", &table);
+    println!(
+        "expect: with the operator the user performs exactly 1 action at any scale;\n\
+         the manual procedure grows linearly (4 + 3·volumes console steps).\n"
+    );
+}
+
+fn run_e6() {
+    println!("== E6: the full demonstration (§IV) — three steps + disaster drill ==\n");
+    let out = e6_demo(2026);
+    for line in &out.transcript {
+        println!("{line}");
+    }
+    println!();
+    println!(
+        "summary: committed={} analytics_orders={} failover_consistent={} \
+         business_recovered={} lost_orders={} rto={}",
+        out.committed_orders,
+        out.analytics_orders,
+        out.failover_consistent,
+        out.business_recovered,
+        out.lost_orders,
+        out.rto
+    );
+    println!("expect: consistent failover, recovered business process, bounded loss.\n");
+}
+
+fn run_e7() {
+    println!("== E7 (extension): three-data-centre — metro SDC + WAN ADC combined ==");
+    println!("   far link 25 ms one way; metro link 1 ms; disaster at t=200 ms\n");
+    let rows = e7_three_dc(29);
+    let table = render_e7(&rows);
+    println!("{table}");
+    maybe_csv("e7", &table);
+    println!(
+        "expect: 3dc latency ≈ metro SDC (~2 ms), far below WAN SDC (~50 ms); its\n\
+         metro copy loses nothing while the far copy stays a consistent prefix —\n\
+         the best of both of the paper's §V alternatives.\n"
+    );
+}
+
+fn run_a1() {
+    println!("== A1 (ablation): backup lag vs transfer-pump parameters ==");
+    println!("   acked-but-unapplied backlog sampled every 5 ms over a 300 ms run\n");
+    let rows = a1_backup_lag(19, &[200, 500, 2000, 5000], &[8, 64]);
+    let table = render_a1(&rows);
+    println!("{table}");
+    maybe_csv("a1", &table);
+    println!(
+        "expect: lag grows with the pump interval (staleness is the price of\n\
+         decoupling) while host p99 stays flat — the pump never touches the host path.\n"
+    );
+}
+
+fn run_a2() {
+    println!("== A2 (ablation): journal-full policy — Block vs Suspend ==");
+    println!("   undersized journal over a 20 Mbit/s link; failure at t=200 ms\n");
+    let rows = a2_journal_policy(23, &[256, 1024, 16384]);
+    let table = render_a2(&rows);
+    println!("{table}");
+    maybe_csv("a2", &table);
+    println!(
+        "expect: Block back-pressures the host (stalls > 0, p99 up) but keeps the\n\
+         backup advancing; Suspend keeps the host fast but abandons the backup\n\
+         (degraded acks, far larger loss at failover).\n"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    println!("Tsuru experiment reproduction (see DESIGN.md §4, EXPERIMENTS.md)\n");
+    if want("e1") {
+        run_e1();
+    }
+    if want("e2") {
+        run_e2();
+    }
+    if want("e3") {
+        run_e3();
+    }
+    if want("e4") {
+        run_e4();
+    }
+    if want("e5") {
+        run_e5();
+    }
+    if want("e6") {
+        run_e6();
+    }
+    if want("e7") {
+        run_e7();
+    }
+    if want("a1") {
+        run_a1();
+    }
+    if want("a2") {
+        run_a2();
+    }
+}

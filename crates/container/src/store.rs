@@ -1,0 +1,230 @@
+//! Typed object stores with versioning and a watch log.
+
+use std::collections::BTreeMap;
+
+use crate::meta::Object;
+
+/// What happened to an object (the watch stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// Object created (key).
+    Added(String),
+    /// Object updated (key).
+    Modified(String),
+    /// Object deleted (key).
+    Deleted(String),
+}
+
+/// A typed store for one resource kind.
+#[derive(Debug)]
+pub struct Store<T: Object> {
+    items: BTreeMap<String, T>,
+    next_uid: u64,
+    rv: u64,
+    mutations: u64,
+    log: Vec<WatchEvent>,
+}
+
+impl<T: Object> Default for Store<T> {
+    fn default() -> Self {
+        Store {
+            items: BTreeMap::new(),
+            next_uid: 1,
+            rv: 0,
+            mutations: 0,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<T: Object> Store<T> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Create an object; assigns uid and resource version.
+    ///
+    /// # Panics
+    /// Panics if the key already exists (API conflict is a caller bug in
+    /// this deterministic setting; use [`Store::contains`] to guard).
+    pub fn create(&mut self, mut obj: T) -> String {
+        let key = obj.meta().key();
+        assert!(
+            !self.items.contains_key(&key),
+            "{} {key} already exists",
+            T::KIND
+        );
+        self.rv += 1;
+        self.mutations += 1;
+        obj.meta_mut().uid = self.next_uid;
+        obj.meta_mut().resource_version = self.rv;
+        self.next_uid += 1;
+        self.log.push(WatchEvent::Added(key.clone()));
+        self.items.insert(key.clone(), obj);
+        key
+    }
+
+    /// Does an object with this key exist?
+    pub fn contains(&self, key: &str) -> bool {
+        self.items.contains_key(key)
+    }
+
+    /// Fetch by key.
+    pub fn get(&self, key: &str) -> Option<&T> {
+        self.items.get(key)
+    }
+
+    /// Update in place through a closure; bumps the resource version and
+    /// records a watch event. Returns `false` if the object is missing.
+    /// The closure must return `true` if it actually changed the object —
+    /// no-op updates do not count as mutations (important for convergence
+    /// detection).
+    pub fn update(&mut self, key: &str, f: impl FnOnce(&mut T) -> bool) -> bool {
+        match self.items.get_mut(key) {
+            None => false,
+            Some(obj) => {
+                if f(obj) {
+                    self.rv += 1;
+                    self.mutations += 1;
+                    obj.meta_mut().resource_version = self.rv;
+                    self.log.push(WatchEvent::Modified(key.to_owned()));
+                }
+                true
+            }
+        }
+    }
+
+    /// Delete by key; returns the object if it existed.
+    pub fn delete(&mut self, key: &str) -> Option<T> {
+        let obj = self.items.remove(key);
+        if obj.is_some() {
+            self.rv += 1;
+            self.mutations += 1;
+            self.log.push(WatchEvent::Deleted(key.to_owned()));
+        }
+        obj
+    }
+
+    /// All objects in key order.
+    pub fn list(&self) -> impl Iterator<Item = &T> {
+        self.items.values()
+    }
+
+    /// Objects in one namespace, in key order.
+    pub fn list_namespace<'a>(&'a self, ns: &'a str) -> impl Iterator<Item = &'a T> + 'a {
+        self.items
+            .values()
+            .filter(move |o| o.meta().namespace.as_deref() == Some(ns))
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total writes ever applied (creation + effective updates + deletes).
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// The watch log since the beginning.
+    pub fn watch_log(&self) -> &[WatchEvent] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ObjectMeta;
+    use crate::resources::Namespace;
+
+    fn ns(name: &str) -> Namespace {
+        Namespace {
+            meta: ObjectMeta::cluster(name),
+        }
+    }
+
+    #[test]
+    fn create_get_delete() {
+        let mut s: Store<Namespace> = Store::new();
+        let key = s.create(ns("shop"));
+        assert_eq!(key, "shop");
+        assert!(s.contains("shop"));
+        assert_eq!(s.get("shop").unwrap().meta.uid, 1);
+        assert_eq!(s.get("shop").unwrap().meta.resource_version, 1);
+        assert!(s.delete("shop").is_some());
+        assert!(s.delete("shop").is_none());
+        assert_eq!(s.mutations(), 2);
+        assert_eq!(
+            s.watch_log(),
+            &[
+                WatchEvent::Added("shop".into()),
+                WatchEvent::Deleted("shop".into())
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_create_panics() {
+        let mut s: Store<Namespace> = Store::new();
+        s.create(ns("a"));
+        s.create(ns("a"));
+    }
+
+    #[test]
+    fn effective_and_noop_updates() {
+        let mut s: Store<Namespace> = Store::new();
+        s.create(ns("a"));
+        let before = s.mutations();
+        // No-op update: closure reports no change.
+        assert!(s.update("a", |_| false));
+        assert_eq!(s.mutations(), before);
+        // Effective update bumps rv.
+        assert!(s.update("a", |n| {
+            n.meta.labels.insert("k".into(), "v".into());
+            true
+        }));
+        assert_eq!(s.mutations(), before + 1);
+        assert_eq!(s.get("a").unwrap().meta.resource_version, 2);
+        // Missing object.
+        assert!(!s.update("zzz", |_| true));
+    }
+
+    #[test]
+    fn namespace_listing() {
+        #[derive(Debug, Clone)]
+        struct Thing {
+            meta: ObjectMeta,
+        }
+        impl Object for Thing {
+            const KIND: &'static str = "Thing";
+            fn meta(&self) -> &ObjectMeta {
+                &self.meta
+            }
+            fn meta_mut(&mut self) -> &mut ObjectMeta {
+                &mut self.meta
+            }
+        }
+        let mut s: Store<Thing> = Store::new();
+        s.create(Thing {
+            meta: ObjectMeta::namespaced("a", "x"),
+        });
+        s.create(Thing {
+            meta: ObjectMeta::namespaced("b", "y"),
+        });
+        s.create(Thing {
+            meta: ObjectMeta::namespaced("a", "z"),
+        });
+        let in_a: Vec<_> = s.list_namespace("a").map(|t| t.meta.name.clone()).collect();
+        assert_eq!(in_a, vec!["x", "z"]);
+        assert_eq!(s.list().count(), 3);
+    }
+}

@@ -1,0 +1,720 @@
+//! The experiment runners behind every table/figure reproduction
+//! (DESIGN.md §4). Each returns structured rows; the bench crate's `repro`
+//! binary renders them and EXPERIMENTS.md records the results.
+
+use serde::{Deserialize, Serialize};
+use tsuru_container::{
+    ApiServer, ClaimPhase, ControllerManager, Namespace, ObjectMeta, PersistentVolumeClaim,
+    Provisioner, StorageClass, BACKUP_TAG_KEY, BACKUP_TAG_VALUE,
+};
+use tsuru_nso::{NamespaceOperator, NsoConfig};
+use tsuru_plugin::{
+    BackupSiteImporter, ReplicationPlugin, ReplicationPluginConfig, TsuruBlockDriver,
+};
+use tsuru_sim::{SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+use tsuru_storage::{ArrayPerf, EngineConfig, StorageWorld};
+
+use crate::rig::{BackupMode, RigConfig, TwoSiteRig};
+
+// =====================================================================
+// E1 — no system slowdown (claim C1): latency/throughput vs backup mode
+// =====================================================================
+
+/// One (mode, RTT) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E1Row {
+    /// Backup mode label.
+    pub mode: String,
+    /// Inter-site round-trip time in milliseconds.
+    pub rtt_ms: f64,
+    /// Committed transactions per simulated second.
+    pub tps: f64,
+    /// Mean transaction latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Sweep backup modes across inter-site distances.
+pub fn e1_slowdown(seed: u64, rtts_ms: &[u64], duration: SimDuration) -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    for &rtt in rtts_ms {
+        for mode in [BackupMode::None, BackupMode::AdcConsistencyGroup, BackupMode::Sdc] {
+            let mut cfg = RigConfig {
+                seed,
+                mode,
+                ..Default::default()
+            };
+            let one_way = SimDuration::from_micros(rtt * 1000 / 2);
+            cfg.link = LinkConfig::with(one_way, 1_000_000_000 / 8);
+            let mut rig = TwoSiteRig::new(cfg);
+            rig.run_workload_for(duration);
+            let s = rig.latency_summary();
+            rows.push(E1Row {
+                mode: mode.label().into(),
+                rtt_ms: rtt as f64,
+                tps: rig.throughput_tps(),
+                mean_ms: s.mean / 1e6,
+                p50_ms: s.p50 as f64 / 1e6,
+                p99_ms: s.p99 as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+// =====================================================================
+// E2 — backup collapse (claims C2/C3): CG vs naive under surprise failure
+// =====================================================================
+
+/// Aggregate over many disaster trials for one mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E2Row {
+    /// Backup mode label.
+    pub mode: String,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose backup violated write-order fidelity (storage check).
+    pub storage_collapses: u32,
+    /// Trials whose recovered databases violated the cross-DB invariant or
+    /// hard-failed recovery (business check).
+    pub business_collapses: u32,
+    /// Trials where a database failed to recover at all.
+    pub hard_recovery_failures: u32,
+    /// Mean committed-but-lost orders per trial (expected ADC data loss).
+    pub avg_lost_orders: f64,
+}
+
+/// Run `trials` surprise-failure drills per mode.
+pub fn e2_collapse(base_seed: u64, trials: u32, session_jitter: SimDuration) -> Vec<E2Row> {
+    let mut rows = Vec::new();
+    for mode in [BackupMode::AdcConsistencyGroup, BackupMode::AdcPerVolume] {
+        let mut storage_collapses = 0;
+        let mut business_collapses = 0;
+        let mut hard_failures = 0;
+        let mut lost_total = 0u64;
+        for t in 0..trials {
+            let mut cfg = RigConfig {
+                seed: base_seed + t as u64,
+                mode,
+                ..Default::default()
+            };
+            cfg.engine.pump_jitter = session_jitter;
+            cfg.workload.think_time_mean = SimDuration::from_millis(2);
+            let mut rig = TwoSiteRig::new(cfg);
+            // Failure somewhere in the middle of the run, varied per trial.
+            let fail_at = SimTime::from_millis(80 + (t as u64 * 13) % 80);
+            rig.schedule_main_failure(fail_at);
+            rig.world.app_mut().stop_after_orders = None;
+            tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+            rig.sim
+                .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+
+            let (consistency, _) = rig.failover(fail_at);
+            if !consistency.prefix.consistent {
+                storage_collapses += 1;
+            }
+            let outcome = rig.recover_from_backup();
+            if outcome.hard_failure() {
+                hard_failures += 1;
+                business_collapses += 1;
+            } else if !outcome.fully_consistent() {
+                business_collapses += 1;
+            }
+            if let Some(orders) = &outcome.orders {
+                lost_total += orders.lost;
+            }
+        }
+        rows.push(E2Row {
+            mode: mode.label().into(),
+            trials,
+            storage_collapses,
+            business_collapses,
+            hard_recovery_failures: hard_failures,
+            avg_lost_orders: lost_total as f64 / trials as f64,
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E3 — RPO vs link bandwidth and journal capacity (§III-A1)
+// =====================================================================
+
+/// One (mode, bandwidth, journal) RPO measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E3Row {
+    /// Backup mode label.
+    pub mode: String,
+    /// Link bandwidth in Mbit/s.
+    pub bandwidth_mbps: u64,
+    /// Journal capacity in MiB.
+    pub journal_mib: u64,
+    /// Committed orders at the main site when disaster struck.
+    pub committed_orders: u64,
+    /// Committed orders lost at the backup.
+    pub lost_orders: u64,
+    /// Storage-level recovery point (ms behind the failure instant).
+    pub rpo_ms: f64,
+    /// Host-write stalls caused by a full journal.
+    pub journal_stalls: u64,
+    /// Transaction p99 latency (ms) — shows the Block-policy backpressure.
+    pub p99_ms: f64,
+}
+
+/// Sweep ADC over bandwidths and journal sizes; one SDC reference row.
+pub fn e3_rpo(seed: u64, bandwidths_mbps: &[u64], journal_mib: &[u64]) -> Vec<E3Row> {
+    let fail_at = SimTime::from_millis(150);
+    let mut rows = Vec::new();
+    let run = |mode: BackupMode, mbps: u64, jmib: u64| -> E3Row {
+        let mut cfg = RigConfig {
+            seed,
+            mode,
+            journal_capacity: jmib << 20,
+            ..Default::default()
+        };
+        cfg.link = LinkConfig::with(SimDuration::from_millis(5), mbps * 1_000_000 / 8);
+        cfg.workload.think_time_mean = SimDuration::from_millis(2);
+        let mut rig = TwoSiteRig::new(cfg);
+        rig.schedule_main_failure(fail_at);
+        tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+        rig.sim
+            .run_until(&mut rig.world, fail_at + SimDuration::from_millis(300));
+        let committed = rig.committed_orders();
+        let (_, rpo) = rig.failover(fail_at);
+        let outcome = rig.recover_from_backup();
+        let lost = outcome.orders.map(|o| o.lost).unwrap_or(committed);
+        let s = rig.latency_summary();
+        E3Row {
+            mode: mode.label().into(),
+            bandwidth_mbps: mbps,
+            journal_mib: jmib,
+            committed_orders: committed,
+            lost_orders: lost,
+            rpo_ms: rpo.rpo.as_nanos() as f64 / 1e6,
+            journal_stalls: rig.world.st.stats.journal_stall_retries,
+            p99_ms: s.p99 as f64 / 1e6,
+        }
+    };
+    for &mbps in bandwidths_mbps {
+        for &jmib in journal_mib {
+            rows.push(run(BackupMode::AdcConsistencyGroup, mbps, jmib));
+        }
+    }
+    // SDC reference: zero loss by construction.
+    rows.push(run(BackupMode::Sdc, *bandwidths_mbps.last().unwrap_or(&1000), 0));
+    rows
+}
+
+// =====================================================================
+// E4 — snapshot groups for usable backup data (§III-A2, Figs. 5–6)
+// =====================================================================
+
+/// One snapshot-scenario measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E4Row {
+    /// Scenario label.
+    pub scenario: String,
+    /// Orders visible to analytics on the snapshot image.
+    pub analytics_orders: u64,
+    /// Was the snapshot image cross-DB consistent?
+    pub image_consistent: bool,
+    /// Copy-on-write preservations performed on the backup array.
+    pub cow_saves: u64,
+    /// Orders committed at the main site by the end of the run (the live
+    /// system keeps moving while analytics read the frozen image).
+    pub committed_at_end: u64,
+}
+
+/// Compare atomic snapshot groups against non-atomic per-volume snapshots,
+/// with replication running throughout.
+pub fn e4_snapshot(seed: u64) -> Vec<E4Row> {
+    let mut rows = Vec::new();
+    for (scenario, atomic) in [("group-atomic", true), ("per-volume-nonatomic", false)] {
+        let cfg = RigConfig {
+            seed,
+            mode: BackupMode::AdcConsistencyGroup,
+            ..Default::default()
+        };
+        let db_cfg = cfg.db.clone();
+        let initial_stock = cfg.workload.initial_stock;
+        let mut rig = TwoSiteRig::new(cfg);
+        tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+        rig.sim.run_until(&mut rig.world, SimTime::from_millis(150));
+
+        let replicas = rig.replicas.expect("replicated rig");
+        let snaps: Vec<tsuru_storage::SnapshotId> = if atomic {
+            rig.snapshot_backup_group("pit")
+        } else {
+            // Non-atomic: snapshot the stock volumes first, let replication
+            // advance, then snapshot the sales volumes — the pre-group-
+            // snapshot reality the paper's storage solves.
+            let now = rig.sim.now();
+            let s2 = rig.world.st.snapshot(replicas[2], "stock-wal-pit", now);
+            let s3 = rig.world.st.snapshot(replicas[3], "stock-data-pit", now);
+            rig.sim
+                .run_until(&mut rig.world, now + SimDuration::from_millis(25));
+            let now2 = rig.sim.now();
+            let s0 = rig.world.st.snapshot(replicas[0], "sales-wal-pit", now2);
+            let s1 = rig.world.st.snapshot(replicas[1], "sales-data-pit", now2);
+            vec![s0, s1, s2, s3]
+        };
+        // Keep the workload running while analytics read the image.
+        rig.sim.run_until(&mut rig.world, SimTime::from_millis(300));
+
+        let arr = rig.world.st.array(rig.backup);
+        let sales = tsuru_minidb::MiniDb::recover(
+            "sales-snap",
+            &tsuru_storage::SnapshotView::new(arr, snaps[0]),
+            &tsuru_storage::SnapshotView::new(arr, snaps[1]),
+            db_cfg.clone(),
+        );
+        let stock = tsuru_minidb::MiniDb::recover(
+            "stock-snap",
+            &tsuru_storage::SnapshotView::new(arr, snaps[2]),
+            &tsuru_storage::SnapshotView::new(arr, snaps[3]),
+            db_cfg.clone(),
+        );
+        let (analytics_orders, image_consistent) = match (&sales, &stock) {
+            (Ok((s, _)), Ok((t, _))) => {
+                let inv = tsuru_ecom::check_cross_db(s, t, initial_stock);
+                let rep = tsuru_analytics::run_analytics(s, t, 5);
+                (rep.order_count, inv.consistent())
+            }
+            _ => (0, false),
+        };
+        rows.push(E4Row {
+            scenario: scenario.into(),
+            analytics_orders,
+            image_consistent,
+            cow_saves: rig.world.st.array(rig.backup).cow_saves(),
+            committed_at_end: rig.committed_orders(),
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E5 — operator automation (§III-B1, Figs. 3–4)
+// =====================================================================
+
+/// One namespace-size measurement of configuration effort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E5Row {
+    /// Claims in the namespace.
+    pub volumes: usize,
+    /// User actions with the operator (always 1: the tag).
+    pub user_actions_operator: u32,
+    /// Estimated manual console steps without the operator (see
+    /// [`manual_steps`]).
+    pub user_actions_manual: u64,
+    /// Reconcile rounds until convergence.
+    pub rounds: u32,
+    /// API mutations performed by the controllers.
+    pub api_mutations: u64,
+    /// Array pairs configured.
+    pub pairs: u64,
+    /// Claims surfaced on the backup platform.
+    pub backup_claims: usize,
+    /// Whether reconciliation converged.
+    pub converged: bool,
+}
+
+/// The manual procedure the operator replaces, per the paper's workflow:
+/// identify the PV↔LDEV correspondence (1 per volume), create the
+/// secondary volume (1), create the pair with consistency-group attributes
+/// (1), plus per namespace: create two journal volumes, define the group,
+/// and verify (4).
+pub fn manual_steps(volumes: u64) -> u64 {
+    4 + 3 * volumes
+}
+
+/// Scale the namespace and measure operator effort end to end
+/// (tag → pairs on the array → claims visible at the backup site).
+pub fn e5_operator(volume_counts: &[usize]) -> Vec<E5Row> {
+    let mut rows = Vec::new();
+    for &n in volume_counts {
+        let mut st = StorageWorld::new(7, EngineConfig::default());
+        let main_array = st.add_array("vsp-main", ArrayPerf::default());
+        let backup_array = st.add_array("vsp-backup", ArrayPerf::default());
+        let link = st.add_link(LinkConfig::metro());
+        let reverse = st.add_link(LinkConfig::metro());
+
+        let mut main_api = ApiServer::new();
+        main_api.storage_classes.create(StorageClass {
+            meta: ObjectMeta::cluster("tsuru-block"),
+            provisioner: "block.csi.tsuru.io".into(),
+            parameters: Default::default(),
+        });
+        main_api.namespaces.create(Namespace {
+            meta: ObjectMeta::cluster("shop"),
+        });
+        for i in 0..n {
+            main_api.pvcs.create(PersistentVolumeClaim {
+                meta: ObjectMeta::namespaced("shop", format!("vol-{i:04}")),
+                storage_class: "tsuru-block".into(),
+                size_blocks: 64,
+                phase: ClaimPhase::Pending,
+                volume_name: None,
+            });
+        }
+        let mut provisioner =
+            Provisioner::new(TsuruBlockDriver::new(main_array, "block.csi.tsuru.io"));
+        let mut repl = ReplicationPlugin::new(ReplicationPluginConfig {
+            main_array,
+            backup_array,
+            link,
+            reverse,
+            journal_capacity_bytes: 64 << 20,
+        });
+        let mut nso = NamespaceOperator::new(NsoConfig::default());
+        // Provision first (volumes exist before backup is requested).
+        ControllerManager::run_to_convergence(
+            &mut main_api,
+            &mut st,
+            &mut [&mut provisioner],
+            128,
+        );
+        let mutations_before = main_api.total_mutations();
+
+        // The single user action: tag the namespace.
+        main_api.namespaces.update("shop", |ns| {
+            ns.meta
+                .labels
+                .insert(BACKUP_TAG_KEY.into(), BACKUP_TAG_VALUE.into());
+            true
+        });
+        let report = ControllerManager::run_to_convergence(
+            &mut main_api,
+            &mut st,
+            &mut [&mut nso, &mut provisioner, &mut repl],
+            256,
+        );
+        // Backup site surfaces the claims.
+        let mut backup_api = ApiServer::new();
+        let mut importer = BackupSiteImporter::new(backup_array);
+        ControllerManager::run_to_convergence(
+            &mut backup_api,
+            &mut st,
+            &mut [&mut importer],
+            128,
+        );
+        rows.push(E5Row {
+            volumes: n,
+            user_actions_operator: 1,
+            user_actions_manual: manual_steps(n as u64),
+            rounds: report.rounds,
+            api_mutations: main_api.total_mutations() - mutations_before,
+            pairs: repl.pairs_created,
+            backup_claims: backup_api.pvcs.len(),
+            converged: report.converged,
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E6 — the full three-step demonstration (§IV) + disaster drill
+// =====================================================================
+
+/// Outcome of the end-to-end demo.
+#[derive(Debug)]
+pub struct E6Outcome {
+    /// The console transcript (Figs. 2–6 reproduction).
+    pub transcript: Vec<String>,
+    /// Committed orders at the main site.
+    pub committed_orders: u64,
+    /// Orders visible to analytics on the snapshot.
+    pub analytics_orders: u64,
+    /// Whether the failover backup was consistent.
+    pub failover_consistent: bool,
+    /// Whether the business process recovered at the backup site.
+    pub business_recovered: bool,
+    /// Committed orders lost at failover (the ADC recovery point).
+    pub lost_orders: u64,
+    /// Failover RTO.
+    pub rto: SimDuration,
+}
+
+/// Run the complete demonstration: configure backup by tagging, run the
+/// business, develop snapshots, run analytics, then a disaster drill.
+pub fn e6_demo(seed: u64) -> E6Outcome {
+    let cfg = crate::system::DemoConfig {
+        seed,
+        ..Default::default()
+    };
+    let mut demo = crate::system::DemoSystem::new(cfg);
+    demo.step1_configure_backup();
+    demo.run_workload_for(SimDuration::from_millis(200));
+    let handles = demo.step2_develop_snapshot("pit-1");
+    let analytics = demo
+        .step3_analytics(&handles, 5)
+        .expect("analytics on a consistent snapshot group");
+    demo.run_workload_for(SimDuration::from_millis(100));
+
+    let fail_at = demo.sim.now();
+    demo.fail_main_site();
+    // Let in-flight replication settle.
+    let horizon = fail_at + SimDuration::from_millis(100);
+    demo.sim.run_until(&mut demo.world, horizon);
+    let failover = demo.failover(fail_at);
+    let business = demo.recover_business();
+
+    E6Outcome {
+        committed_orders: demo.world.app().metrics.committed_orders,
+        analytics_orders: analytics.order_count,
+        failover_consistent: failover.consistency.is_consistent(),
+        business_recovered: business.fully_consistent(),
+        lost_orders: business.orders.as_ref().map(|o| o.lost).unwrap_or(0),
+        rto: failover.rto,
+        transcript: demo.transcript,
+    }
+}
+
+// =====================================================================
+// A1 — ablation: backup lag vs transfer-pump parameters
+// =====================================================================
+
+/// One pump-parameter measurement of backup lag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A1Row {
+    /// Base pump interval in microseconds.
+    pub pump_interval_us: u64,
+    /// Maximum journal entries per transfer frame.
+    pub batch_max_entries: usize,
+    /// Mean backup lag in acked-but-unapplied writes (sampled every 5 ms).
+    pub mean_lag_writes: f64,
+    /// Peak backup lag in writes.
+    pub max_lag_writes: u64,
+    /// Transfer frames sent (batching efficiency).
+    pub frames_sent: u64,
+    /// Transaction p99 (ms) — the pump must not affect the host.
+    pub p99_ms: f64,
+}
+
+/// Sweep the transfer pump's interval and batch size, sampling the
+/// acked-minus-applied backlog. The backup-site *lag* is the price of the
+/// main site's zero slowdown; this quantifies the knob.
+pub fn a1_backup_lag(
+    seed: u64,
+    pump_intervals_us: &[u64],
+    batches: &[usize],
+) -> Vec<A1Row> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let mut rows = Vec::new();
+    for &interval in pump_intervals_us {
+        for &batch in batches {
+            let mut cfg = RigConfig {
+                seed,
+                mode: BackupMode::AdcConsistencyGroup,
+                ..Default::default()
+            };
+            cfg.engine.pump_interval = SimDuration::from_micros(interval);
+            cfg.engine.pump_jitter = SimDuration::from_micros(interval / 2);
+            cfg.engine.batch_max_entries = batch;
+            cfg.workload.think_time_mean = SimDuration::from_millis(2);
+            let mut rig = TwoSiteRig::new(cfg);
+            let groups = rig.groups.clone();
+
+            let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            // Recurring sampler: every 5 ms record the group backlog.
+            fn sample(
+                w: &mut crate::world::DemoWorld,
+                sim: &mut tsuru_sim::Sim<crate::world::DemoWorld>,
+                groups: Vec<tsuru_storage::GroupId>,
+                out: Rc<std::cell::RefCell<Vec<u64>>>,
+                remaining: u32,
+            ) {
+                let lag: u64 = groups
+                    .iter()
+                    .flat_map(|&g| w.st.fabric.group(g).pairs.clone())
+                    .map(|pid| {
+                        let p = w.st.fabric.pair(pid);
+                        p.acked_writes - p.applied_writes
+                    })
+                    .sum();
+                out.borrow_mut().push(lag);
+                if remaining > 0 {
+                    let groups = groups.clone();
+                    let out = Rc::clone(&out);
+                    sim.schedule_in(SimDuration::from_millis(5), move |w, sim| {
+                        sample(w, sim, groups, out, remaining - 1)
+                    });
+                }
+            }
+            {
+                let groups = groups.clone();
+                let out = Rc::clone(&samples);
+                rig.sim
+                    .schedule_at(SimTime::from_millis(20), move |w, sim| {
+                        sample(w, sim, groups, out, 56)
+                    });
+            }
+            rig.run_workload_for(SimDuration::from_millis(300));
+
+            let samples = samples.borrow();
+            let mean = if samples.is_empty() {
+                0.0
+            } else {
+                samples.iter().sum::<u64>() as f64 / samples.len() as f64
+            };
+            let frames: u64 = groups
+                .iter()
+                .map(|&g| rig.world.st.fabric.group(g).stats.frames_sent)
+                .sum();
+            rows.push(A1Row {
+                pump_interval_us: interval,
+                batch_max_entries: batch,
+                mean_lag_writes: mean,
+                max_lag_writes: samples.iter().copied().max().unwrap_or(0),
+                frames_sent: frames,
+                p99_ms: rig.latency_summary().p99 as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+// =====================================================================
+// A2 — ablation: journal-full policy (Block vs Suspend)
+// =====================================================================
+
+/// One journal-policy measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A2Row {
+    /// `block` or `suspend`.
+    pub policy: String,
+    /// Journal capacity in KiB.
+    pub journal_kib: u64,
+    /// Orders committed in the run window.
+    pub committed: u64,
+    /// Transaction p99 (ms): Block back-pressures the host.
+    pub p99_ms: f64,
+    /// Host-write stall retries (Block only).
+    pub stalls: u64,
+    /// Degraded (suspended-replication) acknowledgements (Suspend only).
+    pub degraded_acks: u64,
+    /// Committed orders missing at the backup after failover.
+    pub lost_orders: u64,
+}
+
+/// Compare the two journal-overflow behaviours on an undersized journal
+/// over a slow link: Block trades primary latency for a bounded recovery
+/// point; Suspend keeps the primary fast but abandons the backup.
+pub fn a2_journal_policy(seed: u64, journal_kib: &[u64]) -> Vec<A2Row> {
+    use tsuru_storage::JournalFullPolicy;
+    let mut rows = Vec::new();
+    for &kib in journal_kib {
+        for (label, policy) in [
+            ("block", JournalFullPolicy::Block),
+            ("suspend", JournalFullPolicy::Suspend),
+        ] {
+            let mut cfg = RigConfig {
+                seed,
+                mode: BackupMode::AdcConsistencyGroup,
+                journal_capacity: kib << 10,
+                ..Default::default()
+            };
+            cfg.engine.journal_full_policy = policy;
+            // 20 Mbit/s: slow enough that the journal matters.
+            cfg.link = LinkConfig::with(SimDuration::from_millis(5), 20_000_000 / 8);
+            cfg.workload.think_time_mean = SimDuration::from_millis(2);
+            let mut rig = TwoSiteRig::new(cfg);
+            let fail_at = SimTime::from_millis(200);
+            rig.schedule_main_failure(fail_at);
+            tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+            rig.sim
+                .run_until(&mut rig.world, fail_at + SimDuration::from_millis(300));
+            let committed = rig.committed_orders();
+            rig.failover(fail_at);
+            let outcome = rig.recover_from_backup();
+            rows.push(A2Row {
+                policy: label.into(),
+                journal_kib: kib,
+                committed,
+                p99_ms: rig.latency_summary().p99 as f64 / 1e6,
+                stalls: rig.world.st.stats.journal_stall_retries,
+                degraded_acks: rig.world.app().metrics.degraded_acks,
+                lost_orders: outcome.orders.map(|o| o.lost).unwrap_or(committed),
+            });
+        }
+    }
+    rows
+}
+
+// =====================================================================
+// E7 — extension: three-data-centre topology (metro SDC + WAN ADC)
+// =====================================================================
+
+/// One topology measurement after a main-site disaster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Row {
+    /// Topology label.
+    pub mode: String,
+    /// Transaction p50 latency (ms) during normal operation.
+    pub p50_ms: f64,
+    /// Committed orders when disaster struck.
+    pub committed: u64,
+    /// Orders recoverable at the WAN (far) site.
+    pub far_recovered: u64,
+    /// Orders recoverable at the metro site (`—` encoded as None → 0).
+    pub metro_recovered: Option<u64>,
+    /// Orders lost in the *best* surviving copy.
+    pub best_copy_lost: u64,
+}
+
+/// Compare two-site ADC, two-site SDC and the 3DC combination: latency
+/// near the ADC floor, zero loss at the metro site, bounded loss at the
+/// far site.
+pub fn e7_three_dc(seed: u64) -> Vec<E7Row> {
+    let mut rows = Vec::new();
+    for mode in [
+        BackupMode::AdcConsistencyGroup,
+        BackupMode::Sdc,
+        BackupMode::ThreeDc,
+    ] {
+        let mut cfg = RigConfig {
+            seed,
+            mode,
+            ..Default::default()
+        };
+        // Far link: a genuine WAN.
+        cfg.link = LinkConfig::with(SimDuration::from_millis(25), 1_000_000_000 / 8);
+        cfg.workload.think_time_mean = SimDuration::from_millis(2);
+        let mut rig = TwoSiteRig::new(cfg);
+        let fail_at = SimTime::from_millis(200);
+        rig.schedule_main_failure(fail_at);
+        tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+        rig.sim
+            .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+        let committed = rig.committed_orders();
+        let p50 = rig.latency_summary().p50 as f64 / 1e6;
+        // Promote only ADC groups (SDC targets are already current).
+        let groups = rig.groups.clone();
+        for &g in &groups {
+            if rig.world.st.fabric.group(g).mode == tsuru_storage::GroupMode::Adc {
+                rig.world.st.promote_group(g);
+            }
+        }
+        let far = rig.recover_from_backup();
+        let far_recovered = far.orders.as_ref().map(|o| o.recovered).unwrap_or(0);
+        let metro_recovered = rig.metro.map(|_| {
+            let m = rig.recover_from_metro();
+            m.orders.as_ref().map(|o| o.recovered).unwrap_or(0)
+        });
+        let best = far_recovered.max(metro_recovered.unwrap_or(0));
+        rows.push(E7Row {
+            mode: mode.label().into(),
+            p50_ms: p50,
+            committed,
+            far_recovered,
+            metro_recovered,
+            best_copy_lost: committed.saturating_sub(best),
+        });
+    }
+    rows
+}

@@ -1,0 +1,27 @@
+//! # tsuru-core — the demonstration system
+//!
+//! Assembles every substrate into the paper's two-site deployment:
+//!
+//! - [`TwoSiteRig`] — storage + databases + workload, for the quantitative
+//!   experiments (E1–E4);
+//! - [`DemoSystem`] — the full system including both container platforms,
+//!   the CSI plugins and the namespace operator, driving the paper's
+//!   three-step demonstration (backup configuration by tagging, snapshot
+//!   development, analytics) plus a disaster/failover drill;
+//! - [`experiments`] — the runners behind every reproduced figure/claim
+//!   (see DESIGN.md §4 and EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod report;
+mod rig;
+mod system;
+mod world;
+
+pub use report::{f2, f3, render_table};
+pub use rig::{BackupMode, RecoveryOutcome, RigConfig, TwoSiteRig, VOLUME_NAMES};
+pub use system::{
+    BusinessRecovery, DemoConfig, DemoSystem, FailoverReport, DRIVER_NAME, STORAGE_CLASS,
+};
+pub use world::DemoWorld;

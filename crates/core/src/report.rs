@@ -1,0 +1,78 @@
+//! Plain-text table rendering for experiment output.
+
+/// Render an aligned table with a header row and a separator.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("{h:>w$}  ", w = w));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["mode", "tps"],
+            &[
+                vec!["none".into(), "1234.56".into()],
+                vec!["adc-cg".into(), "9.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("mode"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].ends_with("1234.56"));
+        // Right-aligned columns: "adc-cg" ends at the same column as "none".
+        assert_eq!(
+            lines[2].find("1234.56").unwrap() + 7,
+            lines[3].find("9.1").unwrap() + 3
+        );
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(2.0), "2.000");
+    }
+}

@@ -1,0 +1,58 @@
+//! The simulation world: storage + application state under one roof.
+
+use tsuru_ecom::{EcomState, HasEcom};
+use tsuru_storage::{HasStorage, StorageWorld};
+
+/// The discrete-event state of the whole demonstration: the storage layer
+/// is always present; the application is installed during setup.
+#[derive(Debug)]
+pub struct DemoWorld {
+    /// Arrays, links, replication fabric, ack log.
+    pub st: StorageWorld,
+    /// The business process (sales + stock databases, clients, metrics).
+    pub app: Option<EcomState>,
+}
+
+impl DemoWorld {
+    /// A world with no application yet.
+    pub fn new(st: StorageWorld) -> Self {
+        DemoWorld { st, app: None }
+    }
+
+    /// Install the application (setup step).
+    pub fn install_app(&mut self, app: EcomState) {
+        assert!(self.app.is_none(), "application already installed");
+        self.app = Some(app);
+    }
+
+    /// Borrow the application.
+    ///
+    /// # Panics
+    /// Panics if the application is not installed yet.
+    pub fn app(&self) -> &EcomState {
+        self.app.as_ref().expect("application not installed")
+    }
+
+    /// Mutably borrow the application.
+    pub fn app_mut(&mut self) -> &mut EcomState {
+        self.app.as_mut().expect("application not installed")
+    }
+}
+
+impl HasStorage for DemoWorld {
+    fn storage(&self) -> &StorageWorld {
+        &self.st
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        &mut self.st
+    }
+}
+
+impl HasEcom for DemoWorld {
+    fn ecom(&self) -> &EcomState {
+        self.app()
+    }
+    fn ecom_mut(&mut self) -> &mut EcomState {
+        self.app_mut()
+    }
+}

@@ -1,0 +1,184 @@
+//! Application state: two databases, metrics, setup helpers.
+
+use tsuru_minidb::{DbConfig, DbVol, IoPlan, MiniDb};
+use tsuru_sim::{Histogram, SimTime};
+use tsuru_storage::{StorageWorld, VolRef};
+
+use crate::model::{StockRow, STOCK_TABLE};
+use crate::workload::WorkloadGen;
+
+/// One database instance and the volumes backing it.
+#[derive(Debug)]
+pub struct DbInstance {
+    /// The engine.
+    pub db: MiniDb,
+    /// The WAL volume.
+    pub wal_vol: VolRef,
+    /// The data volume.
+    pub data_vol: VolRef,
+}
+
+impl DbInstance {
+    /// Map a database-relative I/O target to the backing array volume.
+    pub fn volref(&self, vol: DbVol) -> VolRef {
+        match vol {
+            DbVol::Wal => self.wal_vol,
+            DbVol::Data => self.data_vol,
+        }
+    }
+}
+
+/// Runtime metrics of the transactional application.
+#[derive(Debug, Default)]
+pub struct EcomMetrics {
+    /// End-to-end order-transaction latency (ns).
+    pub txn_latency: Histogram,
+    /// Orders fully committed (stock + sales durable).
+    pub committed_orders: u64,
+    /// Host writes that failed (site disaster observed by the app).
+    pub failed_writes: u64,
+    /// Degraded (suspended-replication) acknowledgements observed.
+    pub degraded_acks: u64,
+    /// `(order id, commit-ack instant)` log — the oracle for business-level
+    /// RPO (which committed orders survived at the backup).
+    pub committed_log: Vec<(u64, SimTime)>,
+}
+
+/// The full application state embedded in the simulation world.
+#[derive(Debug)]
+pub struct EcomState {
+    /// The sales (orders) database.
+    pub sales: DbInstance,
+    /// The stock (inventory) database.
+    pub stock: DbInstance,
+    /// Order generator.
+    pub gen: WorkloadGen,
+    /// Metrics.
+    pub metrics: EcomMetrics,
+    /// Set on site failure (clients park).
+    pub stopped: bool,
+    /// Optional cap on generated orders (experiments with a fixed count).
+    pub stop_after_orders: Option<u64>,
+}
+
+/// Access to the application state from an arbitrary simulation world.
+pub trait HasEcom {
+    /// Borrow the application.
+    fn ecom(&self) -> &EcomState;
+    /// Mutably borrow the application.
+    fn ecom_mut(&mut self) -> &mut EcomState;
+}
+
+/// Apply an [`IoPlan`] to volumes instantly, bypassing the data path —
+/// setup only (database formatting and seeding before replication starts).
+pub fn apply_plan_direct(st: &mut StorageWorld, plan: &IoPlan, wal: VolRef, data: VolRef) {
+    for phase in &plan.phases {
+        for io in phase {
+            let vol = match io.vol {
+                DbVol::Wal => wal,
+                DbVol::Data => data,
+            };
+            st.write_direct(vol, io.lba, &io.data);
+        }
+    }
+}
+
+/// Create and format a database onto the given volumes (setup time).
+pub fn install_db(
+    st: &mut StorageWorld,
+    name: &str,
+    wal_vol: VolRef,
+    data_vol: VolRef,
+    config: DbConfig,
+) -> DbInstance {
+    let (db, plan) = MiniDb::create(name, config);
+    apply_plan_direct(st, &plan, wal_vol, data_vol);
+    DbInstance {
+        db,
+        wal_vol,
+        data_vol,
+    }
+}
+
+/// Seed the stock catalogue with `items` rows of `initial_stock` units
+/// (setup time; written directly).
+pub fn seed_stock(st: &mut StorageWorld, stock: &mut DbInstance, items: usize, initial: u64) {
+    let tx = stock.db.begin();
+    for item in 0..items as u64 {
+        stock
+            .db
+            .put(tx, STOCK_TABLE, item, &StockRow { quantity: initial }.encode());
+    }
+    let plan = stock.db.commit(tx);
+    apply_plan_direct(st, &plan, stock.wal_vol, stock.data_vol);
+    // Checkpoint so the seeded catalogue is in the tree image, not a giant
+    // WAL tail.
+    let plan = stock.db.checkpoint();
+    apply_plan_direct(st, &plan, stock.wal_vol, stock.data_vol);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use tsuru_minidb::TableId;
+    use tsuru_sim::DetRng;
+    use tsuru_storage::{ArrayPerf, EngineConfig, VolumeView};
+
+    #[test]
+    fn install_and_seed_then_recover_from_volumes() {
+        let mut st = StorageWorld::new(5, EngineConfig::default());
+        let a = st.add_array("m", ArrayPerf::default());
+        let wal = st.create_volume(a, "stock-wal", 256);
+        let data = st.create_volume(a, "stock-data", 2048);
+        let mut inst = install_db(
+            &mut st,
+            "stock",
+            wal,
+            data,
+            DbConfig {
+                data_blocks: 2048,
+                wal_blocks: 256,
+                checkpoint_threshold: 0.8,
+            },
+        );
+        seed_stock(&mut st, &mut inst, 50, 1000);
+        // Recover straight from the volumes.
+        let array = st.array(a);
+        let wal_dev = VolumeView::new(array, wal.volume);
+        let data_dev = VolumeView::new(array, data.volume);
+        let (rec, _) =
+            MiniDb::recover("r", &wal_dev, &data_dev, inst.db.config().clone()).unwrap();
+        assert_eq!(rec.scan_table(TableId(1)).len(), 50);
+        let row = StockRow::decode(&rec.get_committed(TableId(1), 7).unwrap()).unwrap();
+        assert_eq!(row.quantity, 1000);
+    }
+
+    #[test]
+    fn ecom_state_wiring() {
+        let mut st = StorageWorld::new(5, EngineConfig::default());
+        let a = st.add_array("m", ArrayPerf::default());
+        let sw = st.create_volume(a, "sw", 64);
+        let sd = st.create_volume(a, "sd", 512);
+        let tw = st.create_volume(a, "tw", 64);
+        let td = st.create_volume(a, "td", 512);
+        let cfg = DbConfig {
+            data_blocks: 512,
+            wal_blocks: 64,
+            checkpoint_threshold: 0.8,
+        };
+        let sales = install_db(&mut st, "sales", sw, sd, cfg.clone());
+        let stock = install_db(&mut st, "stock", tw, td, cfg);
+        let state = EcomState {
+            sales,
+            stock,
+            gen: WorkloadGen::new(WorkloadConfig::default(), DetRng::new(1)),
+            metrics: EcomMetrics::default(),
+            stopped: false,
+            stop_after_orders: None,
+        };
+        assert_eq!(state.sales.volref(DbVol::Wal), sw);
+        assert_eq!(state.sales.volref(DbVol::Data), sd);
+        assert_eq!(state.stock.volref(DbVol::Data), td);
+    }
+}

@@ -1,0 +1,192 @@
+//! The discrete-event transaction driver.
+//!
+//! Runs the paper's business process on the simulated storage: closed-loop
+//! clients issue order transactions, each of which commits to the *stock*
+//! database first and the *sales* database second (app-level ordering).
+//! Each commit's [`IoPlan`] is pushed through the array with real timing
+//! and phase barriers, so the transaction latency a client sees is exactly
+//! the storage acknowledgement latency — the quantity ADC is supposed to
+//! keep flat and SDC inflates (claims C1/C2).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use tsuru_minidb::{IoPlan, IoRequest};
+use tsuru_sim::{Sim, SimDuration};
+use tsuru_storage::{engine::host_write, HasStorage, WriteAck};
+
+use crate::app::HasEcom;
+use crate::model::{OrderRow, StockRow, ORDERS_TABLE, STOCK_TABLE};
+use crate::workload::OrderSpec;
+
+/// Which database a plan belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// The sales (orders) database.
+    Sales,
+    /// The stock (inventory) database.
+    Stock,
+}
+
+/// Drive an [`IoPlan`] through the array: writes within a phase are issued
+/// concurrently; the next phase starts only after every write of the
+/// current phase acknowledged. `done` receives `false` if any write failed
+/// (site disaster).
+pub fn drive_plan<S, F>(state: &mut S, sim: &mut Sim<S>, which: Which, plan: IoPlan, done: F)
+where
+    S: HasStorage + HasEcom + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, bool) + 'static,
+{
+    drive_phases(state, sim, which, plan.phases.into(), done);
+}
+
+fn drive_phases<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    which: Which,
+    mut phases: VecDeque<Vec<IoRequest>>,
+    done: F,
+) where
+    S: HasStorage + HasEcom + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, bool) + 'static,
+{
+    let Some(phase) = phases.pop_front() else {
+        done(state, sim, true);
+        return;
+    };
+    debug_assert!(!phase.is_empty(), "IoPlan phases are never empty");
+    let remaining = Rc::new(Cell::new(phase.len()));
+    let all_ok = Rc::new(Cell::new(true));
+    // The continuation is shared by all write callbacks; the last one fires
+    // it.
+    type Cont<F> = Rc<RefCell<Option<(VecDeque<Vec<IoRequest>>, F)>>>;
+    let cont: Cont<F> = Rc::new(RefCell::new(Some((phases, done))));
+
+    for io in phase {
+        let vol = {
+            let e = state.ecom();
+            match which {
+                Which::Sales => e.sales.volref(io.vol),
+                Which::Stock => e.stock.volref(io.vol),
+            }
+        };
+        let remaining = Rc::clone(&remaining);
+        let all_ok = Rc::clone(&all_ok);
+        let cont = Rc::clone(&cont);
+        host_write(state, sim, vol, io.lba, io.data, move |s, sim, ack| {
+            match ack {
+                WriteAck::Failed(_) => {
+                    all_ok.set(false);
+                    s.ecom_mut().metrics.failed_writes += 1;
+                }
+                WriteAck::Degraded { .. } => {
+                    s.ecom_mut().metrics.degraded_acks += 1;
+                }
+                WriteAck::Ok { .. } => {}
+            }
+            remaining.set(remaining.get() - 1);
+            if remaining.get() == 0 {
+                let (rest, done) = cont
+                    .borrow_mut()
+                    .take()
+                    .expect("continuation fired exactly once");
+                if all_ok.get() {
+                    drive_phases(s, sim, which, rest, done);
+                } else {
+                    done(s, sim, false);
+                }
+            }
+        });
+    }
+}
+
+/// Start the closed-loop clients; each runs until the app is stopped or the
+/// order cap is reached. Clients are staggered by a few microseconds so
+/// their first transactions do not collide artificially.
+pub fn start_clients<S>(state: &mut S, sim: &mut Sim<S>)
+where
+    S: HasStorage + HasEcom + 'static,
+{
+    let n = state.ecom().gen.config.clients as u32;
+    for client in 0..n {
+        sim.schedule_in(
+            SimDuration::from_micros(client as u64 * 13),
+            move |s: &mut S, sim| client_txn(s, sim, client),
+        );
+    }
+}
+
+/// Execute one order transaction for `client`, then reschedule.
+pub fn client_txn<S>(state: &mut S, sim: &mut Sim<S>, client: u32)
+where
+    S: HasStorage + HasEcom + 'static,
+{
+    {
+        let e = state.ecom();
+        if e.stopped {
+            return;
+        }
+        if let Some(cap) = e.stop_after_orders {
+            if e.gen.orders_generated() >= cap {
+                return;
+            }
+        }
+    }
+    let started = sim.now();
+    let spec = state.ecom_mut().gen.next_order(client);
+
+    // Phase 1: decrement inventory in the stock database.
+    let stock_plan = {
+        let e = state.ecom_mut();
+        let tx = e.stock.db.begin();
+        let row = e
+            .stock
+            .db
+            .get(tx, STOCK_TABLE, spec.item)
+            .and_then(|b| StockRow::decode(&b))
+            .unwrap_or_else(|| panic!("item {} not seeded", spec.item));
+        let updated = StockRow {
+            quantity: row.quantity.saturating_sub(spec.quantity as u64),
+        };
+        e.stock.db.put(tx, STOCK_TABLE, spec.item, &updated.encode());
+        e.stock.db.commit(tx)
+    };
+    drive_plan(state, sim, Which::Stock, stock_plan, move |s, sim, ok| {
+        if !ok {
+            s.ecom_mut().stopped = true;
+            return;
+        }
+        // Phase 2: record the order in the sales database. The app-level
+        // ordering (stock before sales) is what makes "order present but
+        // stock not decremented" impossible in any write-order-faithful
+        // backup — and exactly what a collapsed backup violates.
+        let sales_plan = {
+            let e = s.ecom_mut();
+            let tx = e.sales.db.begin();
+            let row = OrderRow {
+                item: spec.item,
+                quantity: spec.quantity,
+                client: spec.client,
+            };
+            e.sales.db.put(tx, ORDERS_TABLE, spec.order_id, &row.encode());
+            e.sales.db.commit(tx)
+        };
+        drive_plan(s, sim, Which::Sales, sales_plan, move |s, sim, ok| {
+            if !ok {
+                s.ecom_mut().stopped = true;
+                return;
+            }
+            let now = sim.now();
+            let e = s.ecom_mut();
+            e.metrics.txn_latency.record_duration(now - started);
+            e.metrics.committed_orders += 1;
+            e.metrics.committed_log.push((spec.order_id, now));
+            let think = e.gen.think_time();
+            sim.schedule_in(think, move |s: &mut S, sim| client_txn(s, sim, client));
+        });
+    });
+}
+
+/// Re-export for tests and higher layers needing to inspect specs.
+pub type Order = OrderSpec;

@@ -1,0 +1,30 @@
+//! # tsuru-ecom — the e-commerce business process
+//!
+//! The paper's motivating application (§I, §II): a transactional order
+//! workload spanning a *stock* database and a *sales* database on separate
+//! volume sets, with app-level ordering (stock commit strictly before sales
+//! commit).
+//!
+//! - [`EcomState`] + [`driver`] — closed-loop clients running on the
+//!   discrete-event kernel, pushing every commit's I/O through the
+//!   simulated array.
+//! - [`WorkloadGen`] — deterministic Zipf-skewed order generation.
+//! - [`check_cross_db`] — the business-level collapse detector: an order
+//!   present in a recovered sales database without its stock decrement is
+//!   exactly the "collapsed backup" of the paper.
+//! - [`order_rpo`] — business-level recovery-point metrics.
+
+#![warn(missing_docs)]
+
+mod app;
+mod checker;
+pub mod driver;
+mod model;
+mod workload;
+
+pub use app::{
+    apply_plan_direct, install_db, seed_stock, DbInstance, EcomMetrics, EcomState, HasEcom,
+};
+pub use checker::{check_cross_db, order_rpo, InvariantReport, OrderRpo, Oversold};
+pub use model::{OrderRow, StockRow, ORDERS_TABLE, STOCK_TABLE};
+pub use workload::{OrderSpec, WorkloadConfig, WorkloadGen};

@@ -1,0 +1,86 @@
+//! Row formats for the e-commerce schema.
+//!
+//! The paper's business process keeps a *stock* database (inventory) and a
+//! *sales* database (orders) on separate database instances (§I, §II).
+
+use tsuru_minidb::TableId;
+
+/// The items table in the stock database.
+pub const STOCK_TABLE: TableId = TableId(1);
+/// The orders table in the sales database.
+pub const ORDERS_TABLE: TableId = TableId(1);
+
+/// One inventory row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StockRow {
+    /// Units on hand.
+    pub quantity: u64,
+}
+
+impl StockRow {
+    /// Serialize (8 bytes LE).
+    pub fn encode(&self) -> Vec<u8> {
+        self.quantity.to_le_bytes().to_vec()
+    }
+
+    /// Parse; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<StockRow> {
+        Some(StockRow {
+            quantity: u64::from_le_bytes(buf.get(0..8)?.try_into().ok()?),
+        })
+    }
+}
+
+/// One order row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderRow {
+    /// Item purchased.
+    pub item: u64,
+    /// Units purchased.
+    pub quantity: u32,
+    /// Client that placed the order.
+    pub client: u32,
+}
+
+impl OrderRow {
+    /// Serialize (16 bytes LE).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.item.to_le_bytes());
+        out.extend_from_slice(&self.quantity.to_le_bytes());
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out
+    }
+
+    /// Parse; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<OrderRow> {
+        Some(OrderRow {
+            item: u64::from_le_bytes(buf.get(0..8)?.try_into().ok()?),
+            quantity: u32::from_le_bytes(buf.get(8..12)?.try_into().ok()?),
+            client: u32::from_le_bytes(buf.get(12..16)?.try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_roundtrip() {
+        let r = StockRow { quantity: 42 };
+        assert_eq!(StockRow::decode(&r.encode()), Some(r));
+        assert_eq!(StockRow::decode(b"abc"), None);
+    }
+
+    #[test]
+    fn order_roundtrip() {
+        let r = OrderRow {
+            item: 7,
+            quantity: 3,
+            client: 12,
+        };
+        assert_eq!(OrderRow::decode(&r.encode()), Some(r));
+        assert_eq!(OrderRow::decode(&[0; 5]), None);
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end: the e-commerce workload over replicated storage, site
+//! failure, failover, recovery, and the collapse/no-collapse dichotomy.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use tsuru_ecom::driver::start_clients;
+use tsuru_ecom::{
+    check_cross_db, install_db, order_rpo, seed_stock, EcomMetrics, EcomState, HasEcom,
+    WorkloadConfig, WorkloadGen,
+};
+use tsuru_minidb::{DbConfig, MiniDb};
+use tsuru_sim::{DetRng, Sim, SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+use tsuru_storage::{
+    ArrayId, ArrayPerf, EngineConfig, GroupId, HasStorage, StorageWorld, VolRef, VolumeView,
+};
+
+struct World {
+    st: StorageWorld,
+    ecom: EcomState,
+}
+
+impl HasStorage for World {
+    fn storage(&self) -> &StorageWorld {
+        &self.st
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        &mut self.st
+    }
+}
+
+impl HasEcom for World {
+    fn ecom(&self) -> &EcomState {
+        &self.ecom
+    }
+    fn ecom_mut(&mut self) -> &mut EcomState {
+        &mut self.ecom
+    }
+}
+
+struct Rig {
+    world: World,
+    sim: Sim<World>,
+    main: ArrayId,
+    backup: ArrayId,
+    /// (sales wal, sales data, stock wal, stock data) on the main array.
+    vols: [VolRef; 4],
+    /// Matching secondaries on the backup array.
+    replicas: [VolRef; 4],
+    groups: Vec<GroupId>,
+}
+
+const DB_CFG: DbConfig = DbConfig {
+    data_blocks: 4096,
+    wal_blocks: 512,
+    checkpoint_threshold: 0.8,
+};
+
+/// Build a two-site rig. `consistency_group` selects one shared CG (the
+/// paper's design) vs one group per volume (the naive ablation). The pump
+/// jitter models how far independent replication sessions drift apart;
+/// consistency-group correctness must not depend on it.
+fn rig(seed: u64, consistency_group: bool, replicate: bool) -> Rig {
+    let mut cfg = EngineConfig::default();
+    cfg.pump_jitter = SimDuration::from_millis(2);
+    let mut st = StorageWorld::new(seed, cfg);
+    let main = st.add_array("vsp-main", ArrayPerf::default());
+    let backup = st.add_array("vsp-backup", ArrayPerf::default());
+    let link = st.add_link(LinkConfig::metro());
+    let reverse = st.add_link(LinkConfig::metro());
+
+    let names = ["sales-wal", "sales-data", "stock-wal", "stock-data"];
+    let sizes = [512u64, 4096, 512, 4096];
+    let vols: Vec<VolRef> = names
+        .iter()
+        .zip(sizes)
+        .map(|(n, s)| st.create_volume(main, *n, s))
+        .collect();
+
+    // Databases are formatted and seeded before replication starts; the
+    // initial copy then carries the images to the backup site.
+    let sales = install_db(&mut st, "sales", vols[0], vols[1], DB_CFG.clone());
+    let mut stock = install_db(&mut st, "stock", vols[2], vols[3], DB_CFG.clone());
+    let wl = WorkloadConfig {
+        clients: 8,
+        think_time_mean: SimDuration::from_millis(2),
+        items: 50,
+        zipf_theta: 0.9,
+        initial_stock: 1_000_000,
+    };
+    seed_stock(&mut st, &mut stock, wl.items, wl.initial_stock);
+
+    let replicas: Vec<VolRef> = names
+        .iter()
+        .zip(sizes)
+        .map(|(n, s)| st.create_volume(backup, format!("{n}-r"), s))
+        .collect();
+
+    let mut groups = Vec::new();
+    if replicate {
+        if consistency_group {
+            let g = st.create_adc_group("cg-shop", link, reverse, 64 << 20);
+            for i in 0..4 {
+                st.add_pair(g, vols[i], replicas[i]);
+            }
+            groups.push(g);
+        } else {
+            for i in 0..4 {
+                let g = st.create_adc_group(format!("solo-{i}"), link, reverse, 64 << 20);
+                st.add_pair(g, vols[i], replicas[i]);
+                groups.push(g);
+            }
+        }
+    }
+
+    let ecom = EcomState {
+        sales,
+        stock,
+        gen: WorkloadGen::new(wl, DetRng::new(seed).derive(99)),
+        metrics: EcomMetrics::default(),
+        stopped: false,
+        stop_after_orders: None,
+    };
+    Rig {
+        world: World { st, ecom },
+        sim: Sim::new(),
+        main,
+        backup,
+        vols: [vols[0], vols[1], vols[2], vols[3]],
+        replicas: [replicas[0], replicas[1], replicas[2], replicas[3]],
+        groups,
+    }
+}
+
+type Recovered = Result<(MiniDb, tsuru_minidb::RecoveryReport), tsuru_minidb::RecoveryError>;
+
+fn recover_pair(st: &StorageWorld, array: ArrayId, vols: &[VolRef; 4]) -> (Recovered, Recovered) {
+    let arr = st.array(array);
+    let sales = MiniDb::recover(
+        "sales-r",
+        &VolumeView::new(arr, vols[0].volume),
+        &VolumeView::new(arr, vols[1].volume),
+        DB_CFG.clone(),
+    );
+    let stock = MiniDb::recover(
+        "stock-r",
+        &VolumeView::new(arr, vols[2].volume),
+        &VolumeView::new(arr, vols[3].volume),
+        DB_CFG.clone(),
+    );
+    (sales, stock)
+}
+
+#[test]
+fn workload_commits_and_live_volumes_recover_exactly() {
+    let mut r = rig(11, true, false);
+    r.world.ecom.stop_after_orders = Some(300);
+    start_clients(&mut r.world, &mut r.sim);
+    r.sim.run(&mut r.world);
+
+    let m = &r.world.ecom.metrics;
+    assert_eq!(m.committed_orders, 300);
+    assert_eq!(m.failed_writes, 0);
+    assert!(m.txn_latency.summary().p50 > 0);
+
+    let (sales, stock) = recover_pair(&r.world.st, r.main, &r.vols);
+    let (sales, _) = sales.expect("sales recovers");
+    let (stock, _) = stock.expect("stock recovers");
+    let rep = check_cross_db(&sales, &stock, 1_000_000);
+    assert!(rep.consistent(), "{:?}", rep.violations);
+    assert_eq!(rep.orders_found, 300);
+    let rpo = order_rpo(&r.world.ecom.metrics.committed_log, &sales);
+    assert_eq!(rpo.lost, 0, "live volumes lose nothing after drain");
+}
+
+#[test]
+fn consistency_group_failover_never_collapses() {
+    for seed in [1u64, 2, 3] {
+        let mut r = rig(seed, true, true);
+        start_clients(&mut r.world, &mut r.sim);
+        let main = r.main;
+        // Surprise failure mid-run.
+        r.sim
+            .schedule_at(SimTime::from_millis(120), move |w: &mut World, sim| {
+                w.st.fail_array(main, sim.now());
+            });
+        r.sim.run_until(&mut r.world, SimTime::from_millis(400));
+        assert!(r.world.ecom.stopped, "clients observe the disaster");
+        let committed = r.world.ecom.metrics.committed_orders;
+        assert!(committed > 50, "workload ran before the failure");
+
+        for &g in &r.groups {
+            r.world.st.promote_group(g);
+        }
+        // Storage-level verdict: prefix-consistent.
+        let rep = r.world.st.verify_consistency(&r.groups);
+        assert!(rep.is_consistent(), "seed {seed}: {rep:?}");
+
+        // Behavioural verdict: both DBs recover, invariant holds.
+        let (sales, stock) = recover_pair(&r.world.st, r.backup, &r.replicas);
+        let (sales, _) = sales.expect("sales recovers from CG backup");
+        let (stock, _) = stock.expect("stock recovers from CG backup");
+        let inv = check_cross_db(&sales, &stock, 1_000_000);
+        assert!(inv.consistent(), "seed {seed}: {:?}", inv.violations);
+
+        // RPO is bounded: we lose only the un-replicated tail.
+        let rpo = order_rpo(&r.world.ecom.metrics.committed_log, &sales);
+        assert_eq!(rpo.committed, committed);
+        assert!(rpo.recovered > 0, "seed {seed}: backup has data");
+    }
+}
+
+#[test]
+fn naive_groups_produce_skewed_cuts() {
+    let mut storage_collapses = 0;
+    let mut business_collapses = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut r = rig(seed, false, true);
+        start_clients(&mut r.world, &mut r.sim);
+        let main = r.main;
+        r.sim
+            .schedule_at(SimTime::from_millis(120), move |w: &mut World, sim| {
+                w.st.fail_array(main, sim.now());
+            });
+        r.sim.run_until(&mut r.world, SimTime::from_millis(400));
+        for &g in &r.groups {
+            r.world.st.promote_group(g);
+        }
+        let rep = r.world.st.verify_consistency(&r.groups);
+        if !rep.prefix.consistent {
+            storage_collapses += 1;
+        }
+        let (sales, stock) = recover_pair(&r.world.st, r.backup, &r.replicas);
+        match (sales, stock) {
+            (Ok((sales, _)), Ok((stock, _))) => {
+                if !check_cross_db(&sales, &stock, 1_000_000).consistent() {
+                    business_collapses += 1;
+                }
+            }
+            // A hard recovery failure is also a collapse.
+            _ => business_collapses += 1,
+        }
+    }
+    assert!(
+        storage_collapses >= 3,
+        "naive per-volume ADC should usually violate write-order fidelity \
+         (got {storage_collapses}/5)"
+    );
+    // Business-level damage is probabilistic per seed; the benches quantify
+    // it over many trials. Here we only require the mechanism to exist.
+    println!("business collapses: {business_collapses}/5");
+}
+
+#[test]
+fn runs_are_bit_reproducible() {
+    let run = |seed: u64| {
+        let mut r = rig(seed, true, true);
+        r.world.ecom.stop_after_orders = Some(150);
+        start_clients(&mut r.world, &mut r.sim);
+        r.sim.run(&mut r.world);
+        (
+            r.world.ecom.metrics.committed_log.clone(),
+            r.world.ecom.metrics.txn_latency.summary(),
+            r.world.st.ack_log.len(),
+        )
+    };
+    assert_eq!(run(9), run(9));
+}
+
+/// Long run with a deliberately small WAL: automatic checkpoints (shadow-
+/// paging flush + superblock + WAL epoch reset) interleave with journal
+/// replication and a surprise failure. The CG guarantee must hold across
+/// epoch boundaries too.
+#[test]
+fn checkpoints_under_replication_survive_disaster() {
+    for seed in [41u64, 42] {
+        let mut cfg = EngineConfig::default();
+        cfg.pump_jitter = SimDuration::from_millis(1);
+        let mut st = StorageWorld::new(seed, cfg);
+        let main = st.add_array("m", ArrayPerf::default());
+        let backup = st.add_array("b", ArrayPerf::default());
+        let link = st.add_link(LinkConfig::metro());
+        let reverse = st.add_link(LinkConfig::metro());
+
+        let small_db = DbConfig {
+            data_blocks: 8192,
+            wal_blocks: 48, // ~150 KiB: checkpoints every few hundred txns
+            checkpoint_threshold: 0.7,
+        };
+        let names = ["sales-wal", "sales-data", "stock-wal", "stock-data"];
+        let sizes = [48u64, 8192, 48, 8192];
+        let vols: Vec<VolRef> = names
+            .iter()
+            .zip(sizes)
+            .map(|(n, s)| st.create_volume(main, *n, s))
+            .collect();
+        let sales = install_db(&mut st, "sales", vols[0], vols[1], small_db.clone());
+        let mut stock = install_db(&mut st, "stock", vols[2], vols[3], small_db.clone());
+        let wl = WorkloadConfig {
+            clients: 8,
+            think_time_mean: SimDuration::from_millis(1),
+            items: 40,
+            zipf_theta: 0.9,
+            initial_stock: 1_000_000,
+        };
+        seed_stock(&mut st, &mut stock, wl.items, wl.initial_stock);
+        let replicas: Vec<VolRef> = names
+            .iter()
+            .zip(sizes)
+            .map(|(n, s)| st.create_volume(backup, format!("{n}-r"), s))
+            .collect();
+        let g = st.create_adc_group("cg", link, reverse, 64 << 20);
+        for i in 0..4 {
+            st.add_pair(g, vols[i], replicas[i]);
+        }
+        let mut world = World {
+            st,
+            ecom: EcomState {
+                sales,
+                stock,
+                gen: WorkloadGen::new(wl, DetRng::new(seed).derive(99)),
+                metrics: EcomMetrics::default(),
+                stopped: false,
+                stop_after_orders: None,
+            },
+        };
+        let mut sim: Sim<World> = Sim::new();
+        start_clients(&mut world, &mut sim);
+        sim.schedule_at(SimTime::from_millis(900), move |w: &mut World, sim| {
+            w.st.fail_array(main, sim.now());
+        });
+        sim.run_until(&mut world, SimTime::from_millis(1200));
+
+        // Plenty of transactions, and the engines definitely checkpointed.
+        let committed = world.ecom.metrics.committed_orders;
+        assert!(committed > 2000, "seed {seed}: committed {committed}");
+        assert!(
+            world.ecom.sales.db.stats().checkpoints > 2,
+            "seed {seed}: sales checkpoints {}",
+            world.ecom.sales.db.stats().checkpoints
+        );
+
+        world.st.promote_group(g);
+        assert!(world.st.verify_consistency(&[g]).is_consistent());
+        let arr = world.st.array(backup);
+        let sales = MiniDb::recover(
+            "s",
+            &VolumeView::new(arr, replicas[0].volume),
+            &VolumeView::new(arr, replicas[1].volume),
+            small_db.clone(),
+        );
+        let stock = MiniDb::recover(
+            "t",
+            &VolumeView::new(arr, replicas[2].volume),
+            &VolumeView::new(arr, replicas[3].volume),
+            small_db.clone(),
+        );
+        let (sales, srep) = sales.expect("sales recovers across WAL epochs");
+        let (stock, _) = stock.expect("stock recovers across WAL epochs");
+        assert!(srep.epoch > 1, "recovered into a later WAL epoch");
+        let inv = check_cross_db(&sales, &stock, 1_000_000);
+        assert!(inv.consistent(), "seed {seed}: {:?}", inv.violations);
+        let rpo = order_rpo(&world.ecom.metrics.committed_log, &sales);
+        assert!(rpo.recovered > 1000, "seed {seed}: {rpo:?}");
+    }
+}

@@ -1,0 +1,693 @@
+//! An in-memory B+tree with shadow-paging checkpoints.
+//!
+//! Between checkpoints the tree mutates nodes in place (in memory) and
+//! tracks which are dirty. A checkpoint performs a *path copy*: every dirty
+//! node that has an on-disk incarnation is written to a **fresh** page id,
+//! parents are rewritten to point at the new ids, and the old pages are
+//! queued for reuse only after the next superblock is durable. Live on-disk
+//! pages are therefore never overwritten, which is what makes any
+//! prefix-consistent storage cut recoverable (DESIGN.md §5).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tsuru_storage::BlockDevice;
+
+use crate::io::{DbVol, IoRequest};
+use crate::node::{Node, PageError, MAX_VALUE, PAGE_SIZE};
+
+/// Allocates page ids; recycles pages freed by earlier checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct PageAllocator {
+    next: u64,
+    free: Vec<u64>,
+    pending_free: Vec<u64>,
+}
+
+impl PageAllocator {
+    /// An allocator whose first fresh page is `first_page`.
+    pub fn new(first_page: u64) -> Self {
+        PageAllocator {
+            next: first_page,
+            free: Vec::new(),
+            pending_free: Vec::new(),
+        }
+    }
+
+    /// Rebuild from superblock state.
+    pub fn restore(next: u64, free: Vec<u64>) -> Self {
+        PageAllocator {
+            next,
+            free,
+            pending_free: Vec::new(),
+        }
+    }
+
+    /// Allocate a page id.
+    pub fn alloc(&mut self) -> u64 {
+        self.free.pop().unwrap_or_else(|| {
+            let id = self.next;
+            self.next += 1;
+            id
+        })
+    }
+
+    /// Queue a page for reuse after the *next* checkpoint becomes durable
+    /// (it may still be referenced by the current on-disk tree).
+    pub fn free_later(&mut self, id: u64) {
+        self.pending_free.push(id);
+    }
+
+    /// Called once the checkpoint superblock has been emitted: pages freed
+    /// by that checkpoint become allocatable.
+    pub fn promote_pending(&mut self) {
+        self.free.append(&mut self.pending_free);
+    }
+
+    /// Highest page id ever allocated plus one.
+    pub fn next_page(&self) -> u64 {
+        self.next
+    }
+
+    /// Currently reusable page ids (persisted in the superblock).
+    pub fn free_list(&self) -> &[u64] {
+        &self.free
+    }
+}
+
+/// The B+tree.
+#[derive(Debug)]
+pub struct BTree {
+    nodes: HashMap<u64, Node>,
+    root: u64,
+    dirty: HashSet<u64>,
+    on_disk: HashSet<u64>,
+}
+
+impl BTree {
+    /// A new tree with a single empty leaf as root.
+    pub fn new(alloc: &mut PageAllocator) -> Self {
+        let root = alloc.alloc();
+        let mut nodes = HashMap::new();
+        nodes.insert(root, Node::empty_leaf());
+        let mut dirty = HashSet::new();
+        dirty.insert(root);
+        BTree {
+            nodes,
+            root,
+            dirty,
+            on_disk: HashSet::new(),
+        }
+    }
+
+    /// Root page id.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of nodes currently cached (== all nodes; the tree is fully
+    /// memory-resident).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Are there unflushed changes?
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    fn node(&self, id: u64) -> &Node {
+        self.nodes.get(&id).unwrap_or_else(|| panic!("btree node {id} missing from cache"))
+    }
+
+    // ----- reads -------------------------------------------------------------
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<&[u8]> {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by_key(&key, |(k, _)| *k)
+                        .ok()
+                        .map(|i| entries[i].1.as_slice());
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo <= key <= hi`, in key order.
+    pub fn scan_range(&self, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.scan_into(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn scan_into(&self, id: u64, lo: u64, hi: u64, out: &mut Vec<(u64, Vec<u8>)>) {
+        match self.node(id) {
+            Node::Leaf { entries } => {
+                for (k, v) in entries {
+                    if *k >= lo && *k <= hi {
+                        out.push((*k, v.clone()));
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = keys.partition_point(|&k| k <= lo);
+                let last = keys.partition_point(|&k| k <= hi);
+                for child in &children[first..=last] {
+                    self.scan_into(*child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// Total number of entries (walks the tree; for tests and stats).
+    pub fn len(&self) -> usize {
+        fn count(t: &BTree, id: u64) -> usize {
+            match t.node(id) {
+                Node::Leaf { entries } => entries.len(),
+                Node::Internal { children, .. } => {
+                    children.iter().map(|&c| count(t, c)).sum()
+                }
+            }
+        }
+        count(self, self.root)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----- writes ------------------------------------------------------------
+
+    /// Insert or overwrite a key.
+    ///
+    /// # Panics
+    /// Panics if `value` exceeds [`MAX_VALUE`] bytes.
+    pub fn put(&mut self, alloc: &mut PageAllocator, key: u64, value: Vec<u8>) {
+        assert!(
+            value.len() <= MAX_VALUE,
+            "value of {} bytes exceeds MAX_VALUE ({MAX_VALUE})",
+            value.len()
+        );
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value, alloc) {
+            // Root split: grow the tree by one level.
+            let new_root = alloc.alloc();
+            self.nodes.insert(
+                new_root,
+                Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                },
+            );
+            self.dirty.insert(new_root);
+            self.root = new_root;
+        }
+    }
+
+    /// Returns `Some((separator, new_right_id))` if the child split.
+    fn insert_rec(
+        &mut self,
+        id: u64,
+        key: u64,
+        value: Vec<u8>,
+        alloc: &mut PageAllocator,
+    ) -> Option<(u64, u64)> {
+        let descend = match self.nodes.get_mut(&id).expect("node in cache") {
+            Node::Leaf { .. } => None,
+            Node::Internal { keys, .. } => Some(keys.partition_point(|&k| k <= key)),
+        };
+        self.dirty.insert(id);
+        if let Some(idx) = descend {
+            let child = match self.node(id) {
+                Node::Internal { children, .. } => children[idx],
+                Node::Leaf { .. } => unreachable!(),
+            };
+            if let Some((sep, right)) = self.insert_rec(child, key, value, alloc) {
+                if let Node::Internal { keys, children } =
+                    self.nodes.get_mut(&id).expect("node in cache")
+                {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+            }
+        } else if let Node::Leaf { entries } = self.nodes.get_mut(&id).expect("node in cache") {
+            match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(i) => entries[i].1 = value,
+                Err(i) => entries.insert(i, (key, value)),
+            }
+        }
+        self.maybe_split(id, alloc)
+    }
+
+    /// Split `id` if it overflows a page; returns the promotion.
+    fn maybe_split(&mut self, id: u64, alloc: &mut PageAllocator) -> Option<(u64, u64)> {
+        if self.node(id).serialized_size() <= PAGE_SIZE {
+            return None;
+        }
+        let right_id = alloc.alloc();
+        let (sep, right) = match self.nodes.get_mut(&id).expect("node in cache") {
+            Node::Leaf { entries } => {
+                // Split at the byte midpoint so variably-sized values
+                // balance reasonably.
+                let total: usize = entries.iter().map(|(_, v)| 12 + v.len()).sum();
+                let mut acc = 0usize;
+                let mut cut = entries.len() / 2;
+                for (i, (_, v)) in entries.iter().enumerate() {
+                    acc += 12 + v.len();
+                    if acc * 2 >= total {
+                        cut = (i + 1).min(entries.len() - 1).max(1);
+                        break;
+                    }
+                }
+                let right_entries = entries.split_off(cut);
+                let sep = right_entries[0].0;
+                (
+                    sep,
+                    Node::Leaf {
+                        entries: right_entries,
+                    },
+                )
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `sep` moves up, not right
+                let right_children = children.split_off(mid + 1);
+                (
+                    sep,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )
+            }
+        };
+        self.nodes.insert(right_id, right);
+        self.dirty.insert(right_id);
+        self.dirty.insert(id);
+        Some((sep, right_id))
+    }
+
+    /// Remove a key; returns whether it existed. Leaves are not rebalanced
+    /// on underflow (acceptable for the simulated working-set sizes; space
+    /// is reclaimed when a checkpoint rewrites the page).
+    pub fn delete(&mut self, key: u64) -> bool {
+        let mut id = self.root;
+        loop {
+            match self.nodes.get_mut(&id).expect("node in cache") {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            self.dirty.insert(id);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Rebuild the tree densely from its own entries, queueing every old
+    /// page for reuse. Deletions leave underfilled leaves behind (the tree
+    /// does not merge); a rebuild followed by a checkpoint reclaims that
+    /// space — the engine's `VACUUM`.
+    pub fn rebuild(&mut self, alloc: &mut PageAllocator) {
+        let entries = self.scan_range(0, u64::MAX);
+        for (&id, _) in self.nodes.iter() {
+            if self.on_disk.contains(&id) {
+                alloc.free_later(id);
+            }
+        }
+        *self = BTree::new(alloc);
+        for (k, v) in entries {
+            self.put(alloc, k, v);
+        }
+    }
+
+    // ----- checkpoint / load ---------------------------------------------------
+
+    /// Shadow-paging flush: serialize every dirty node (and every ancestor
+    /// of a remapped node) to fresh page ids, stamping them with `lsn`.
+    /// Returns the page writes and updates the root id.
+    pub fn checkpoint_flush(
+        &mut self,
+        alloc: &mut PageAllocator,
+        lsn: u64,
+    ) -> Vec<IoRequest> {
+        let mut ios = Vec::new();
+        let root = self.root;
+        let (new_root, _) = self.flush_rec(root, alloc, lsn, &mut ios);
+        self.root = new_root;
+        self.dirty.clear();
+        self.on_disk = self.nodes.keys().copied().collect();
+        ios
+    }
+
+    /// Returns `(new_id, changed)`.
+    fn flush_rec(
+        &mut self,
+        id: u64,
+        alloc: &mut PageAllocator,
+        lsn: u64,
+        ios: &mut Vec<IoRequest>,
+    ) -> (u64, bool) {
+        // Recurse into children first (post-order) so parents can pick up
+        // remapped ids.
+        let mut self_dirty = self.dirty.contains(&id);
+        if let Node::Internal { children, .. } = self.node(id) {
+            let child_ids = children.clone();
+            let mut new_children = Vec::with_capacity(child_ids.len());
+            let mut any_child_changed = false;
+            for c in child_ids {
+                let (nc, changed) = self.flush_rec(c, alloc, lsn, ios);
+                any_child_changed |= changed;
+                new_children.push(nc);
+            }
+            if any_child_changed {
+                if let Node::Internal { children, .. } =
+                    self.nodes.get_mut(&id).expect("node in cache")
+                {
+                    *children = new_children;
+                }
+                self_dirty = true;
+            }
+        }
+        if !self_dirty {
+            return (id, false);
+        }
+        // Path copy: a node with an on-disk incarnation moves to a fresh
+        // page; a node born since the last checkpoint keeps its id.
+        let new_id = if self.on_disk.contains(&id) {
+            let fresh = alloc.alloc();
+            alloc.free_later(id);
+            let node = self.nodes.remove(&id).expect("node in cache");
+            self.nodes.insert(fresh, node);
+            fresh
+        } else {
+            id
+        };
+        let image = self.node(new_id).serialize(new_id, lsn);
+        ios.push(IoRequest {
+            vol: DbVol::Data,
+            lba: new_id,
+            data: tsuru_storage::block_from(&image),
+        });
+        // A rewritten node always reports "changed" so ancestors re-serialize
+        // their (possibly updated) child lists.
+        (new_id, true)
+    }
+
+    /// Load a tree from a device, starting at `root`. Every reachable page
+    /// must be present and intact.
+    pub fn load(dev: &dyn BlockDevice, root: u64) -> Result<(BTree, u64), PageError> {
+        let mut nodes = HashMap::new();
+        let mut max_lsn = 0u64;
+        let mut queue = VecDeque::from([root]);
+        while let Some(id) = queue.pop_front() {
+            if nodes.contains_key(&id) {
+                return Err(PageError::BadStructure(id, "page referenced twice"));
+            }
+            let buf = dev.read_block(id).ok_or(PageError::Missing(id))?;
+            let (node, lsn) = Node::deserialize(&buf, id)?;
+            max_lsn = max_lsn.max(lsn);
+            if let Node::Internal { children, .. } = &node {
+                queue.extend(children.iter().copied());
+            }
+            nodes.insert(id, node);
+        }
+        let on_disk = nodes.keys().copied().collect();
+        Ok((
+            BTree {
+                nodes,
+                root,
+                dirty: HashSet::new(),
+                on_disk,
+            },
+            max_lsn,
+        ))
+    }
+
+    /// Check structural invariants (tests and recovery verification):
+    /// sorted keys, correct fan-out, separator ordering, key ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_rec(self.root, None, None)?;
+        Ok(())
+    }
+
+    fn validate_rec(&self, id: u64, lo: Option<u64>, hi: Option<u64>) -> Result<(), String> {
+        match self.nodes.get(&id) {
+            None => Err(format!("node {id} missing")),
+            Some(Node::Leaf { entries }) => {
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(format!("leaf {id} keys not strictly sorted"));
+                    }
+                }
+                for (k, _) in entries {
+                    if lo.is_some_and(|l| *k < l) || hi.is_some_and(|h| *k >= h) {
+                        return Err(format!("leaf {id} key {k} outside range"));
+                    }
+                }
+                Ok(())
+            }
+            Some(Node::Internal { keys, children }) => {
+                if children.len() != keys.len() + 1 {
+                    return Err(format!("internal {id} fan-out mismatch"));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(format!("internal {id} keys not strictly sorted"));
+                    }
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    self.validate_rec(child, clo, chi)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsuru_storage::{BlockDeviceMut, MemDevice};
+
+    fn tree() -> (BTree, PageAllocator) {
+        let mut alloc = PageAllocator::new(1);
+        let t = BTree::new(&mut alloc);
+        (t, alloc)
+    }
+
+    #[test]
+    fn put_get_overwrite_delete() {
+        let (mut t, mut a) = tree();
+        assert!(t.get(1).is_none());
+        t.put(&mut a, 1, b"one".to_vec());
+        t.put(&mut a, 2, b"two".to_vec());
+        assert_eq!(t.get(1), Some(b"one".as_slice()));
+        t.put(&mut a, 1, b"uno".to_vec());
+        assert_eq!(t.get(1), Some(b"uno".as_slice()));
+        assert!(t.delete(1));
+        assert!(!t.delete(1));
+        assert!(t.get(1).is_none());
+        assert_eq!(t.get(2), Some(b"two".as_slice()));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn thousands_of_keys_split_correctly() {
+        let (mut t, mut a) = tree();
+        let n = 5000u64;
+        for i in 0..n {
+            // Insert in a scrambled order to exercise splits everywhere.
+            let k = (i * 2_654_435_761) % n;
+            t.put(&mut a, k, k.to_le_bytes().to_vec());
+        }
+        t.validate().unwrap();
+        assert!(t.node_count() > 10, "tree must actually have split");
+        for i in 0..n {
+            assert_eq!(
+                t.get(i),
+                Some(i.to_le_bytes().as_slice()),
+                "key {i} lost"
+            );
+        }
+        assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn large_values_split_by_bytes() {
+        let (mut t, mut a) = tree();
+        for i in 0..64u64 {
+            t.put(&mut a, i, vec![i as u8; 1000]);
+        }
+        t.validate().unwrap();
+        for i in 0..64u64 {
+            assert_eq!(t.get(i).unwrap().len(), 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_VALUE")]
+    fn oversized_value_rejected() {
+        let (mut t, mut a) = tree();
+        t.put(&mut a, 1, vec![0; MAX_VALUE + 1]);
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_bounded() {
+        let (mut t, mut a) = tree();
+        for i in (0..1000u64).rev() {
+            t.put(&mut a, i * 2, vec![i as u8]);
+        }
+        let hits = t.scan_range(100, 200);
+        let keys: Vec<u64> = hits.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..=100).map(|i| i * 2).collect::<Vec<_>>());
+        // Full scan.
+        assert_eq!(t.scan_range(0, u64::MAX).len(), 1000);
+        // Empty scan.
+        assert!(t.scan_range(1, 1).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_device() {
+        let (mut t, mut a) = tree();
+        for i in 0..2000u64 {
+            t.put(&mut a, i, (i * 7).to_le_bytes().to_vec());
+        }
+        let ios = t.checkpoint_flush(&mut a, 99);
+        assert!(!t.is_dirty());
+        let mut dev = MemDevice::new(a.next_page());
+        for io in &ios {
+            assert_eq!(io.vol, DbVol::Data);
+            dev.write_block(io.lba, &io.data);
+        }
+        let (loaded, max_lsn) = BTree::load(&dev, t.root()).unwrap();
+        assert_eq!(max_lsn, 99);
+        loaded.validate().unwrap();
+        assert_eq!(loaded.len(), 2000);
+        for i in 0..2000u64 {
+            assert_eq!(loaded.get(i), Some((i * 7).to_le_bytes().as_slice()));
+        }
+    }
+
+    #[test]
+    fn shadow_paging_never_overwrites_live_pages() {
+        let (mut t, mut a) = tree();
+        for i in 0..500u64 {
+            t.put(&mut a, i, vec![1]);
+        }
+        let ios1 = t.checkpoint_flush(&mut a, 1);
+        let gen1_pages: HashSet<u64> = ios1.iter().map(|io| io.lba).collect();
+        a.promote_pending(); // superblock 1 is durable
+
+        // Modify a fraction of the keys and checkpoint again.
+        for i in 0..50u64 {
+            t.put(&mut a, i, vec![2]);
+        }
+        let ios2 = t.checkpoint_flush(&mut a, 2);
+        let gen2_pages: HashSet<u64> = ios2.iter().map(|io| io.lba).collect();
+        // No page of checkpoint 2 overwrites a live page of checkpoint 1.
+        assert!(
+            gen1_pages.is_disjoint(&gen2_pages),
+            "checkpoint 2 overwrote live checkpoint-1 pages: {:?}",
+            gen1_pages.intersection(&gen2_pages).collect::<Vec<_>>()
+        );
+        // And checkpoint 1's image alone is still fully loadable.
+        let mut dev = MemDevice::new(a.next_page());
+        for io in ios1.iter() {
+            dev.write_block(io.lba, &io.data);
+        }
+        let root1 = ios1.last().expect("non-empty").lba; // root is written last (post-order)
+        let (loaded, _) = BTree::load(&dev, root1).unwrap();
+        loaded.validate().unwrap();
+        assert_eq!(loaded.len(), 500);
+    }
+
+    #[test]
+    fn incremental_checkpoint_only_rewrites_dirty_paths() {
+        let (mut t, mut a) = tree();
+        for i in 0..3000u64 {
+            t.put(&mut a, i, vec![0u8; 32]);
+        }
+        let full = t.checkpoint_flush(&mut a, 1).len();
+        a.promote_pending();
+        // One point update: only the leaf path should be rewritten.
+        t.put(&mut a, 1500, vec![9u8; 32]);
+        let incremental = t.checkpoint_flush(&mut a, 2).len();
+        assert!(
+            incremental <= 4,
+            "point update rewrote {incremental} pages (expected a root-to-leaf path)"
+        );
+        assert!(incremental < full / 10);
+    }
+
+    #[test]
+    fn allocator_recycles_after_promote() {
+        let mut a = PageAllocator::new(10);
+        let p1 = a.alloc();
+        assert_eq!(p1, 10);
+        a.free_later(p1);
+        // Not yet reusable.
+        assert_eq!(a.alloc(), 11);
+        a.promote_pending();
+        assert_eq!(a.alloc(), 10);
+        assert_eq!(a.next_page(), 12);
+    }
+
+    #[test]
+    fn load_detects_missing_and_corrupt_pages() {
+        let (mut t, mut a) = tree();
+        for i in 0..300u64 {
+            t.put(&mut a, i, vec![0u8; 64]);
+        }
+        let ios = t.checkpoint_flush(&mut a, 5);
+        let mut dev = MemDevice::new(a.next_page());
+        for io in &ios {
+            dev.write_block(io.lba, &io.data);
+        }
+        // Corrupt one page.
+        let victim = ios[0].lba;
+        dev.corrupt(victim, 100);
+        assert!(matches!(
+            BTree::load(&dev, t.root()),
+            Err(PageError::BadChecksum(p)) if p == victim
+        ));
+        // Drop it entirely.
+        dev.drop_block(victim);
+        assert!(matches!(
+            BTree::load(&dev, t.root()),
+            Err(PageError::Missing(p)) if p == victim
+        ));
+    }
+
+    #[test]
+    fn empty_tree_checkpoint_and_reload() {
+        let (mut t, mut a) = tree();
+        let ios = t.checkpoint_flush(&mut a, 0);
+        assert_eq!(ios.len(), 1); // just the empty root leaf
+        let mut dev = MemDevice::new(a.next_page());
+        for io in &ios {
+            dev.write_block(io.lba, &io.data);
+        }
+        let (loaded, _) = BTree::load(&dev, t.root()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! I/O requests emitted by the database for the storage driver to execute.
+//!
+//! MiniDB is a *logical-execution / timed-I/O* engine (DESIGN.md §5.2): it
+//! mutates its in-memory state synchronously and hands the resulting block
+//! writes to the caller as ordered [`IoPlan`] phases. The driver (the
+//! e-commerce workload in `tsuru-ecom` / `tsuru-core`) pushes those writes
+//! through the simulated array with real timing, and the database's
+//! durability discipline is encoded purely in the phase ordering:
+//! *all writes of phase `k` must be acknowledged before any write of phase
+//! `k + 1` is issued.*
+
+use tsuru_storage::BlockBuf;
+
+/// Which of the database's two volumes a write targets — matching the
+/// paper's testbed where each Oracle instance keeps redo logs and data
+/// files on separate LDEVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbVol {
+    /// The write-ahead-log volume.
+    Wal,
+    /// The data (pages) volume.
+    Data,
+}
+
+/// One block write the driver must perform.
+#[derive(Debug, Clone)]
+pub struct IoRequest {
+    /// Target volume.
+    pub vol: DbVol,
+    /// Target block.
+    pub lba: u64,
+    /// Full-block payload.
+    pub data: BlockBuf,
+}
+
+/// An ordered sequence of write phases with a barrier between phases.
+#[derive(Debug, Clone, Default)]
+pub struct IoPlan {
+    /// The phases; every phase is a set of writes that may be issued
+    /// concurrently, but phase `k+1` may only start after phase `k` is
+    /// fully acknowledged.
+    pub phases: Vec<Vec<IoRequest>>,
+}
+
+impl IoPlan {
+    /// An empty plan (nothing to write).
+    pub fn empty() -> Self {
+        IoPlan::default()
+    }
+
+    /// Append a phase (skipped if the phase has no writes).
+    pub fn push_phase(&mut self, phase: Vec<IoRequest>) {
+        if !phase.is_empty() {
+            self.phases.push(phase);
+        }
+    }
+
+    /// Total number of block writes across phases.
+    pub fn total_writes(&self) -> usize {
+        self.phases.iter().map(Vec::len).sum()
+    }
+
+    /// True when there is nothing to write.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Concatenate another plan after this one (its phases keep their
+    /// internal ordering).
+    pub fn extend(&mut self, other: IoPlan) {
+        self.phases.extend(other.phases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsuru_storage::block_from;
+
+    #[test]
+    fn plan_building() {
+        let mut plan = IoPlan::empty();
+        assert!(plan.is_empty());
+        plan.push_phase(vec![]); // empty phases are dropped
+        assert!(plan.is_empty());
+        plan.push_phase(vec![IoRequest {
+            vol: DbVol::Wal,
+            lba: 0,
+            data: block_from(b"w"),
+        }]);
+        plan.push_phase(vec![
+            IoRequest {
+                vol: DbVol::Data,
+                lba: 1,
+                data: block_from(b"d1"),
+            },
+            IoRequest {
+                vol: DbVol::Data,
+                lba: 2,
+                data: block_from(b"d2"),
+            },
+        ]);
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.total_writes(), 3);
+
+        let mut head = IoPlan::empty();
+        head.push_phase(vec![IoRequest {
+            vol: DbVol::Data,
+            lba: 9,
+            data: block_from(b"x"),
+        }]);
+        head.extend(plan);
+        assert_eq!(head.phases.len(), 3);
+        assert_eq!(head.phases[0][0].lba, 9);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tsuru-plugin — vendor storage plugins for the container platform
+//!
+//! The bridge between the declarative platform (`tsuru-container`) and the
+//! storage array (`tsuru-storage`), mirroring the two Hitachi plugins the
+//! paper's demonstration uses (§III-B2):
+//!
+//! - [`TsuruBlockDriver`] — the CSI driver (Storage Plug-in for
+//!   Containers): dynamic provisioning, snapshots, group snapshots.
+//! - [`ReplicationPlugin`] — the Replication Plug-in for Containers:
+//!   reconciles `ReplicationGroup`/`VolumeReplication` custom resources
+//!   into array pairs and consistency groups.
+//! - [`BackupSiteImporter`] — surfaces replicated volumes as PVs/PVCs on
+//!   the backup-site platform (Fig. 4).
+//! - [`SnapshotPlugin`] — reconciles snapshot resources, including the
+//!   volume-group-snapshot alpha API the paper cites as future work.
+//! - [`SnapshotScheduler`] — periodic group snapshots with retention (the
+//!   backup catalogue production systems add on top of the paper's
+//!   on-demand snapshots).
+
+#![warn(missing_docs)]
+
+mod driver;
+mod replication;
+mod scheduler;
+mod snapshot;
+
+pub use driver::TsuruBlockDriver;
+pub use replication::{BackupSiteImporter, ReplicationPlugin, ReplicationPluginConfig};
+pub use scheduler::SnapshotScheduler;
+pub use snapshot::SnapshotPlugin;

@@ -1,0 +1,304 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`Sim<S>`] owns a time-ordered queue of events over an arbitrary user
+//! state `S`. Each event is a one-shot closure receiving `&mut S` and
+//! `&mut Sim<S>` so that handlers can mutate the world and schedule further
+//! events. Ties on the timestamp are broken by insertion order, which makes
+//! every run fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A one-shot event handler.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Sim<S>)>;
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Scheduled<S> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// equal timestamps pop in insertion (`seq`) order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over user state `S`.
+pub struct Sim<S> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<S>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<S> Default for Sim<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Sim<S> {
+    /// A simulator at time zero with an empty event queue.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time — scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut S, &mut Sim<S>) + 'static) {
+        assert!(
+            t >= self.now,
+            "cannot schedule event at {t} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: t,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut S, &mut Sim<S>) + 'static,
+    ) {
+        let t = self
+            .now
+            .checked_add(delay)
+            .expect("event time overflow: delay too large");
+        self.schedule_at(t, f);
+    }
+
+    /// Run the single earliest pending event, advancing the clock to its
+    /// timestamp. Returns `false` if the queue was empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now);
+                self.now = ev.time;
+                self.executed += 1;
+                (ev.f)(state, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run events until the queue is empty.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Run all events with timestamps `<= horizon`, then advance the clock to
+    /// exactly `horizon` (even if no event fired there). Events scheduled at
+    /// or before the horizon *by handlers running inside this call* are also
+    /// executed.
+    pub fn run_until(&mut self, state: &mut S, horizon: SimTime) {
+        assert!(
+            horizon >= self.now,
+            "run_until horizon {horizon} is before current time {}",
+            self.now
+        );
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > horizon {
+                break;
+            }
+            self.step(state);
+        }
+        self.now = horizon;
+    }
+
+    /// Run for `d` of simulated time from the current instant.
+    pub fn run_for(&mut self, state: &mut S, d: SimDuration) {
+        let horizon = self
+            .now
+            .checked_add(d)
+            .expect("run_for horizon overflow");
+        self.run_until(state, horizon);
+    }
+
+    /// Run until `pred(state)` holds, checking after every event, or until
+    /// the queue drains. Returns `true` if the predicate was satisfied.
+    pub fn run_until_cond(&mut self, state: &mut S, mut pred: impl FnMut(&S) -> bool) -> bool {
+        if pred(state) {
+            return true;
+        }
+        while self.step(state) {
+            if pred(state) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop all pending events (used when tearing a scenario down early).
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_at(SimTime::from_millis(30), |s: &mut Vec<u32>, _| s.push(3));
+        sim.schedule_at(SimTime::from_millis(10), |s: &mut Vec<u32>, _| s.push(1));
+        sim.schedule_at(SimTime::from_millis(20), |s: &mut Vec<u32>, _| s.push(2));
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut log = Vec::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..16 {
+            sim.schedule_at(t, move |s: &mut Vec<u32>, _| s.push(i));
+        }
+        sim.run(&mut log);
+        assert_eq!(log, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut log = Vec::new();
+        fn chain(s: &mut Vec<u64>, sim: &mut Sim<Vec<u64>>) {
+            s.push(sim.now().as_nanos());
+            if s.len() < 5 {
+                sim.schedule_in(SimDuration::from_nanos(100), chain);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, chain);
+        sim.run(&mut log);
+        assert_eq!(log, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_at(SimTime::from_secs(1), |s: &mut Vec<u32>, _| s.push(1));
+        sim.schedule_at(SimTime::from_secs(3), |s: &mut Vec<u32>, _| s.push(3));
+        sim.run_until(&mut log, SimTime::from_secs(2));
+        assert_eq!(log, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.pending(), 1);
+        // The remaining event still fires later.
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_includes_events_scheduled_inside_the_window() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_at(SimTime::from_millis(10), |s: &mut Vec<&str>, sim| {
+            s.push("a");
+            sim.schedule_in(SimDuration::from_millis(5), |s: &mut Vec<&str>, _| {
+                s.push("b")
+            });
+        });
+        sim.run_until(&mut log, SimTime::from_millis(20));
+        assert_eq!(log, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn run_until_cond_stops_early() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut n = 0u32;
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(i), |s: &mut u32, _| *s += 1);
+        }
+        let hit = sim.run_until_cond(&mut n, |s| *s == 4);
+        assert!(hit);
+        assert_eq!(n, 4);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_cond_reports_failure_when_queue_drains() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut n = 0u32;
+        sim.schedule_at(SimTime::from_secs(1), |s: &mut u32, _| *s += 1);
+        assert!(!sim.run_until_cond(&mut n, |s| *s == 100));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_at(SimTime::from_secs(5), |_, _| {});
+        sim.run(&mut ());
+        sim.schedule_at(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn clear_pending_discards_events() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(SimTime::from_secs(1), |s: &mut u32, _| *s += 1);
+        sim.clear_pending();
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(n, 0);
+    }
+}

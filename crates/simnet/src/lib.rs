@@ -1,0 +1,16 @@
+//! # tsuru-simnet — inter-site network models
+//!
+//! Models the replication path between the main-site and backup-site storage
+//! arrays in the paper's demonstration system: propagation latency,
+//! serialization bandwidth with FIFO queueing, jitter, loss, and scheduled
+//! outages. Replication engines in `tsuru-storage` ask a [`Link`] when a
+//! frame would arrive and schedule delivery events on the simulation kernel
+//! themselves, keeping this crate free of any storage-layer knowledge.
+
+#![warn(missing_docs)]
+
+mod link;
+mod network;
+
+pub use link::{Link, LinkConfig, LinkId, TransferOutcome};
+pub use network::Network;

@@ -1,0 +1,830 @@
+//! The timed data plane: host I/O, ADC journal transfer/apply, SDC.
+//!
+//! Every function here is generic over the simulation state `S:
+//! [`HasStorage`]`, so higher layers can embed the
+//! [`StorageWorld`](crate::StorageWorld) in a
+//! larger world struct. The flow for one asynchronously replicated write
+//! (the paper's §III-A1):
+//!
+//! ```text
+//! host_write ──service──▶ persist: journal.append + volume write + ACK
+//!                                   │ (host already acknowledged)
+//!                      transfer pump▼ (batches, link bandwidth+latency)
+//!                         backup-site journal ──apply pump──▶ secondary
+//!                                   │ volumes, strictly in seq order
+//!                     applied-ack ◀─┘ (frees main-site journal space)
+//! ```
+//!
+//! SDC instead holds the host acknowledgement until the backup site has
+//! persisted the block and the acknowledgement frame has crossed back —
+//! which is exactly why SDC latency carries the WAN round trip (§V).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use tsuru_sim::{Sim, SimDuration, SimTime};
+use tsuru_simnet::TransferOutcome;
+
+use crate::array::WriteError;
+use crate::block::{content_hash, BlockBuf, GroupId, PairId, VolRef, BLOCK_SIZE};
+use crate::config::JournalFullPolicy;
+use crate::fabric::{GroupMode, SuspendReason};
+use crate::journal::JournalEntry;
+use crate::world::HasStorage;
+
+/// Host-visible completion of a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAck {
+    /// Persisted with full replication protection.
+    Ok {
+        /// Submit-to-ack latency.
+        latency: SimDuration,
+        /// Position in the global ack order.
+        global: u64,
+    },
+    /// Persisted locally, but the replication group is suspended — the
+    /// backup is not advancing.
+    Degraded {
+        /// Submit-to-ack latency.
+        latency: SimDuration,
+        /// Position in the global ack order.
+        global: u64,
+    },
+    /// Rejected.
+    Failed(WriteError),
+}
+
+impl WriteAck {
+    /// True for `Ok` and `Degraded`.
+    pub fn is_persisted(&self) -> bool {
+        !matches!(self, WriteAck::Failed(_))
+    }
+
+    /// The latency, if the write was persisted.
+    pub fn latency(&self) -> Option<SimDuration> {
+        match self {
+            WriteAck::Ok { latency, .. } | WriteAck::Degraded { latency, .. } => Some(*latency),
+            WriteAck::Failed(_) => None,
+        }
+    }
+}
+
+/// Submit a block write from a host. `cb` fires when the array
+/// acknowledges (or rejects) the write.
+pub fn host_write<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    vol: VolRef,
+    lba: u64,
+    data: BlockBuf,
+    cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, WriteAck) + 'static,
+{
+    assert_eq!(data.len(), BLOCK_SIZE, "host writes are whole blocks");
+    let now = sim.now();
+    let st = state.storage_mut();
+    if let Err(e) = st.check_host_write(vol, lba) {
+        st.stats.failed_writes += 1;
+        sim.schedule_in(SimDuration::ZERO, move |s, sim| {
+            cb(s, sim, WriteAck::Failed(e));
+        });
+        return;
+    }
+    let service = st.array(vol.array).perf().write_service;
+    let done = st.array_mut(vol.array).admit(vol.volume, now, service);
+    sim.schedule_at(done, move |s, sim| persist(s, sim, vol, lba, data, now, cb));
+}
+
+/// Submit a block read from a host; `cb` receives the content (`None` for a
+/// never-written block or a failed array).
+pub fn host_read<S, F>(state: &mut S, sim: &mut Sim<S>, vol: VolRef, lba: u64, cb: F)
+where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, Option<BlockBuf>) + 'static,
+{
+    let now = sim.now();
+    let st = state.storage_mut();
+    if st.array(vol.array).is_failed() {
+        sim.schedule_in(SimDuration::ZERO, move |s, sim| cb(s, sim, None));
+        return;
+    }
+    let service = st.array(vol.array).perf().read_service;
+    let done = st.array_mut(vol.array).admit(vol.volume, now, service);
+    sim.schedule_at(done, move |s, sim| {
+        let data = s
+            .storage()
+            .array(vol.array)
+            .read_block(vol.volume, lba)
+            .cloned();
+        cb(s, sim, data);
+    });
+}
+
+/// Submit a block read against a snapshot image; timing is charged to the
+/// base volume's station (the snapshot shares the base's spindles). `cb`
+/// receives the point-in-time content.
+pub fn host_read_snapshot<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    array: crate::block::ArrayId,
+    snap: crate::block::SnapshotId,
+    lba: u64,
+    cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, Option<BlockBuf>) + 'static,
+{
+    let now = sim.now();
+    let st = state.storage_mut();
+    if st.array(array).is_failed() {
+        sim.schedule_in(SimDuration::ZERO, move |s, sim| cb(s, sim, None));
+        return;
+    }
+    let base = st.array(array).snapshot(snap).base_volume();
+    let service = st.array(array).perf().read_service;
+    let done = st.array_mut(array).admit(base, now, service);
+    sim.schedule_at(done, move |s, sim| {
+        let data = s
+            .storage()
+            .array(array)
+            .read_snapshot_block(snap, lba)
+            .cloned();
+        cb(s, sim, data);
+    });
+}
+
+enum PersistNext {
+    Ack(WriteAck),
+    Stall(SimDuration),
+    Legs {
+        adc_kicks: Vec<GroupId>,
+        sdc_legs: Vec<(GroupId, PairId)>,
+        any_degraded: bool,
+    },
+}
+
+/// Outcome of one synchronous replication leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LegDone {
+    Ok,
+    Degraded,
+}
+
+/// The array's cache-persist step, at the end of the front-end service
+/// time. A volume may have several replication legs (multi-target
+/// topologies: metro SDC plus WAN ADC); the host acknowledgement waits for
+/// every synchronous leg, while asynchronous legs only journal.
+fn persist<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    vol: VolRef,
+    lba: u64,
+    data: BlockBuf,
+    issued: SimTime,
+    cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, WriteAck) + 'static,
+{
+    let now = sim.now();
+    let hash = content_hash(&data);
+    let next = {
+        let st = state.storage_mut();
+        if st.array(vol.array).is_failed() {
+            st.stats.failed_writes += 1;
+            PersistNext::Ack(WriteAck::Failed(WriteError::ArrayFailed))
+        } else {
+            let pids: Vec<PairId> = st.fabric.pairs_by_primary(vol).to_vec();
+            if pids.is_empty() {
+                let global = st.commit_local(now, vol, lba, data.clone(), hash);
+                PersistNext::Ack(WriteAck::Ok {
+                    latency: now - issued,
+                    global,
+                })
+            } else {
+                // Pass 1 — admission: under the Block policy, every active
+                // ADC leg must have journal space before ANY side effect
+                // happens, so a stalled write can retry without
+                // double-appending.
+                let mut stall = false;
+                if st.journal_full_policy() == JournalFullPolicy::Block {
+                    for &pid in &pids {
+                        let gid = st.fabric.pair(pid).group;
+                        let g = st.fabric.group(gid);
+                        if g.is_active() && g.mode == GroupMode::Adc {
+                            let jid = g.primary_jnl.expect("ADC group without journal");
+                            if !st.fabric.journal(jid).has_space(data.len()) {
+                                stall = true;
+                            }
+                        }
+                    }
+                }
+                if stall {
+                    st.stats.journal_stall_retries += 1;
+                    for &pid in &pids {
+                        let gid = st.fabric.pair(pid).group;
+                        st.fabric.group_mut(gid).stats.journal_stalls += 1;
+                    }
+                    PersistNext::Stall(st.config.journal_stall_retry)
+                } else {
+                    // Pass 2 — persist the primary copy once.
+                    st.array_mut(vol.array).write_block(vol.volume, lba, data.clone());
+                    // Pass 3 — drive each leg.
+                    let mut adc_kicks = Vec::new();
+                    let mut sdc_legs = Vec::new();
+                    let mut any_degraded = false;
+                    for &pid in &pids {
+                        let gid = st.fabric.pair(pid).group;
+                        let (mode, active) = {
+                            let g = st.fabric.group(gid);
+                            (g.mode, g.is_active())
+                        };
+                        if !active {
+                            st.fabric.group_mut(gid).stats.writes_while_suspended += 1;
+                            st.fabric.pair_mut(pid).dirty_since_suspend.insert(lba);
+                            any_degraded = true;
+                            continue;
+                        }
+                        match mode {
+                            GroupMode::Adc => {
+                                let jid = {
+                                    let g = st.fabric.group(gid);
+                                    g.primary_jnl.expect("ADC group without journal")
+                                };
+                                if st.fabric.journal(jid).has_space(data.len()) {
+                                    st.fabric
+                                        .journal_mut(jid)
+                                        .append(pid, lba, data.clone(), hash)
+                                        .expect("space was just checked");
+                                    st.fabric.pair_mut(pid).acked_writes += 1;
+                                    adc_kicks.push(gid);
+                                } else {
+                                    // Suspend policy (Block was handled in
+                                    // pass 1).
+                                    st.fabric
+                                        .group_mut(gid)
+                                        .suspend(now, SuspendReason::JournalFull);
+                                    st.fabric.pair_mut(pid).dirty_since_suspend.insert(lba);
+                                    any_degraded = true;
+                                }
+                            }
+                            GroupMode::Sdc => sdc_legs.push((gid, pid)),
+                        }
+                    }
+                    PersistNext::Legs {
+                        adc_kicks,
+                        sdc_legs,
+                        any_degraded,
+                    }
+                }
+            }
+        }
+    };
+    match next {
+        PersistNext::Ack(ack) => cb(state, sim, ack),
+        PersistNext::Stall(d) => {
+            sim.schedule_in(d, move |s, sim| persist(s, sim, vol, lba, data, issued, cb));
+        }
+        PersistNext::Legs {
+            adc_kicks,
+            sdc_legs,
+            any_degraded,
+        } => {
+            if sdc_legs.is_empty() {
+                // Asynchronous-only protection: acknowledge now.
+                let st = state.storage_mut();
+                let global = st.ack_log.append(vol, lba, hash, now);
+                let ack = if any_degraded {
+                    WriteAck::Degraded {
+                        latency: now - issued,
+                        global,
+                    }
+                } else {
+                    WriteAck::Ok {
+                        latency: now - issued,
+                        global,
+                    }
+                };
+                cb(state, sim, ack);
+            } else {
+                // Synchronous legs hold the host acknowledgement.
+                let remaining = Rc::new(Cell::new(sdc_legs.len()));
+                let degraded = Rc::new(Cell::new(any_degraded));
+                let host_cb: Rc<RefCell<Option<F>>> = Rc::new(RefCell::new(Some(cb)));
+                for (gid, pid) in sdc_legs {
+                    let remaining = Rc::clone(&remaining);
+                    let degraded = Rc::clone(&degraded);
+                    let host_cb = Rc::clone(&host_cb);
+                    sdc_leg_send(
+                        state,
+                        sim,
+                        gid,
+                        pid,
+                        vol,
+                        lba,
+                        data.clone(),
+                        move |s, sim, done| {
+                            if done == LegDone::Degraded {
+                                degraded.set(true);
+                            }
+                            remaining.set(remaining.get() - 1);
+                            if remaining.get() == 0 {
+                                let st = s.storage_mut();
+                                let at = sim.now();
+                                let global = st.ack_log.append(vol, lba, hash, at);
+                                let ack = if degraded.get() {
+                                    WriteAck::Degraded {
+                                        latency: at - issued,
+                                        global,
+                                    }
+                                } else {
+                                    WriteAck::Ok {
+                                        latency: at - issued,
+                                        global,
+                                    }
+                                };
+                                let cb = host_cb
+                                    .borrow_mut()
+                                    .take()
+                                    .expect("host callback fires exactly once");
+                                cb(s, sim, ack);
+                            }
+                        },
+                    );
+                }
+            }
+            for gid in adc_kicks {
+                kick_transfer(state, sim, gid, None);
+            }
+        }
+    }
+}
+
+/// Send one synchronous leg's frame (retrying on loss); the leg callback
+/// fires exactly once when the leg completes or degrades.
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+fn sdc_leg_send<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    pid: PairId,
+    vol: VolRef,
+    lba: u64,
+    data: BlockBuf,
+    leg_cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+{
+    let now = sim.now();
+    enum R {
+        Arrive(SimTime),
+        Retry(SimDuration),
+        Degraded,
+    }
+    let r = {
+        let st = state.storage_mut();
+        if !st.fabric.group(gid).is_active() {
+            st.fabric.pair_mut(pid).acked_writes += 1;
+            st.fabric.pair_mut(pid).dirty_since_suspend.insert(lba);
+            R::Degraded
+        } else {
+            let link = st.fabric.group(gid).link;
+            let bytes = data.len() as u64 + st.config.frame_overhead;
+            match st.offer_link(link, now, bytes) {
+                TransferOutcome::DeliveredAt { at, .. } => R::Arrive(at),
+                TransferOutcome::Lost => R::Retry(st.config.loss_retry),
+                TransferOutcome::Down(_) => {
+                    st.fabric
+                        .group_mut(gid)
+                        .suspend(now, SuspendReason::LinkDown);
+                    st.fabric.pair_mut(pid).dirty_since_suspend.insert(lba);
+                    st.fabric.pair_mut(pid).acked_writes += 1;
+                    R::Degraded
+                }
+            }
+        }
+    };
+    match r {
+        R::Arrive(at) => sim.schedule_at(at, move |s, sim| {
+            sdc_leg_arrive(s, sim, gid, pid, lba, data, leg_cb);
+        }),
+        R::Retry(d) => sim.schedule_in(d, move |s, sim| {
+            sdc_leg_send(s, sim, gid, pid, vol, lba, data, leg_cb);
+        }),
+        R::Degraded => leg_cb(state, sim, LegDone::Degraded),
+    }
+}
+
+/// An SDC frame reached the backup array.
+fn sdc_leg_arrive<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    pid: PairId,
+    lba: u64,
+    data: BlockBuf,
+    leg_cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+{
+    let now = sim.now();
+    enum A {
+        Persist(SimTime),
+        Degraded,
+    }
+    let a = {
+        let st = state.storage_mut();
+        let sec = st.fabric.pair(pid).secondary;
+        if st.array(sec.array).is_failed() {
+            st.fabric
+                .group_mut(gid)
+                .suspend(now, SuspendReason::LinkDown);
+            st.fabric.pair_mut(pid).dirty_since_suspend.insert(lba);
+            st.fabric.pair_mut(pid).acked_writes += 1;
+            A::Degraded
+        } else {
+            let service = st.array(sec.array).perf().apply_service;
+            let done = st.array_mut(sec.array).admit(sec.volume, now, service);
+            A::Persist(done)
+        }
+    };
+    match a {
+        A::Persist(done) => sim.schedule_at(done, move |s, sim| {
+            sdc_leg_done(s, sim, gid, pid, lba, data, leg_cb);
+        }),
+        A::Degraded => leg_cb(state, sim, LegDone::Degraded),
+    }
+}
+
+/// The backup array persisted an SDC block; acknowledge across the reverse
+/// link.
+fn sdc_leg_done<S, F>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    pid: PairId,
+    lba: u64,
+    data: BlockBuf,
+    leg_cb: F,
+) where
+    S: HasStorage + 'static,
+    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+{
+    let now = sim.now();
+    enum D {
+        AckAt(SimTime),
+        Degraded,
+    }
+    let d = {
+        let st = state.storage_mut();
+        let sec = st.fabric.pair(pid).secondary;
+        st.array_mut(sec.array).write_block(sec.volume, lba, data);
+        st.fabric.pair_mut(pid).applied_writes += 1;
+        st.fabric.group_mut(gid).stats.entries_applied += 1;
+        let reverse = st.fabric.group(gid).reverse;
+        let ack_bytes = st.config.ack_frame_bytes;
+        match st.offer_link(reverse, now, ack_bytes) {
+            TransferOutcome::DeliveredAt { at, .. } => D::AckAt(at),
+            // A lost or undeliverable acknowledgement suspends the pair
+            // (the array cannot distinguish the two within the timeout).
+            TransferOutcome::Lost | TransferOutcome::Down(_) => {
+                st.fabric
+                    .group_mut(gid)
+                    .suspend(now, SuspendReason::LinkDown);
+                D::Degraded
+            }
+        }
+    };
+    match d {
+        D::AckAt(at) => sim.schedule_at(at, move |s, sim| {
+            s.storage_mut().fabric.pair_mut(pid).acked_writes += 1;
+            leg_cb(s, sim, LegDone::Ok);
+        }),
+        D::Degraded => {
+            state.storage_mut().fabric.pair_mut(pid).acked_writes += 1;
+            leg_cb(state, sim, LegDone::Degraded);
+        }
+    }
+}
+
+/// Schedule a transfer-pump cycle for an ADC group if one is not already
+/// pending. `delay` overrides the jittered pump interval.
+pub fn kick_transfer<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    delay: Option<SimDuration>,
+) {
+    let st = state.storage_mut();
+    {
+        let g = st.fabric.group_mut(gid);
+        if g.pump_scheduled || g.mode != GroupMode::Adc || !g.is_active() {
+            return;
+        }
+        g.pump_scheduled = true;
+    }
+    let gen = st.fabric.group(gid).generation;
+    let d = match delay {
+        Some(d) => d,
+        None => st.pump_delay(gid),
+    };
+    sim.schedule_in(d, move |s, sim| run_transfer(s, sim, gid, gen));
+}
+
+fn run_transfer<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    gen: u32,
+) {
+    let now = sim.now();
+    if state.storage().fabric.group(gid).generation != gen {
+        return; // stale epoch: a resync/promote superseded this pump
+    }
+    enum T {
+        Idle,
+        Sent {
+            batch: Vec<JournalEntry>,
+            arrive_at: SimTime,
+            serialized: SimTime,
+        },
+        RetryIn(SimDuration),
+        RetryAt(SimTime),
+    }
+    let t = {
+        let st = state.storage_mut();
+        st.fabric.group_mut(gid).pump_scheduled = false;
+        let (active, jid, link, first_pair) = {
+            let g = st.fabric.group(gid);
+            (g.is_active(), g.primary_jnl, g.link, g.pairs.first().copied())
+        };
+        let primary_failed = first_pair
+            .map(|pid| {
+                let arr = st.fabric.pair(pid).primary.array;
+                st.array(arr).is_failed()
+            })
+            .unwrap_or(false);
+        if !active || primary_failed {
+            T::Idle
+        } else {
+            let jid = jid.expect("ADC group without primary journal");
+            // Flow control: while the sender-side serialization backlog is
+            // deep, hold back — bits not yet on the wire die with the site.
+            if st.net.link(link).backlog(now) > st.config.max_link_backlog {
+                T::RetryIn(st.config.pump_interval)
+            } else {
+            let (max_e, max_b) = (st.config.batch_max_entries, st.config.batch_max_bytes);
+            let batch = st.fabric.journal(jid).peek_unsent(max_e, max_b);
+            if batch.is_empty() {
+                T::Idle
+            } else {
+                let payload: u64 = batch
+                    .iter()
+                    .map(|e| st.fabric.journal(jid).entry_size(e.data.len()))
+                    .sum::<u64>()
+                    + st.config.frame_overhead;
+                match st.offer_link(link, now, payload) {
+                    TransferOutcome::DeliveredAt { at, serialized } => {
+                        let last = batch.last().expect("non-empty").seq;
+                        st.fabric.journal_mut(jid).mark_sent(last);
+                        let g = st.fabric.group_mut(gid);
+                        g.stats.frames_sent += 1;
+                        g.stats.entries_transferred += batch.len() as u64;
+                        g.stats.bytes_transferred += payload;
+                        T::Sent {
+                            batch,
+                            arrive_at: at,
+                            serialized,
+                        }
+                    }
+                    TransferOutcome::Lost => T::RetryIn(st.config.loss_retry),
+                    TransferOutcome::Down(Some(up)) => {
+                        T::RetryAt(up.max(now + SimDuration::from_nanos(1)))
+                    }
+                    // Indefinite outage: the pump parks; a new append or an
+                    // explicit kick_all_pumps after healing restarts it.
+                    TransferOutcome::Down(None) => T::Idle,
+                }
+            }
+            }
+        }
+    };
+    match t {
+        T::Idle => {}
+        T::Sent {
+            batch,
+            arrive_at,
+            serialized,
+        } => {
+            sim.schedule_at(arrive_at, move |s, sim| {
+                receive_batch(s, sim, gid, batch, serialized, gen)
+            });
+            let d = state.storage_mut().pump_delay(gid);
+            kick_transfer(state, sim, gid, Some(d));
+        }
+        T::RetryIn(d) => {
+            state.storage_mut().fabric.group_mut(gid).pump_scheduled = true;
+            sim.schedule_in(d, move |s, sim| run_transfer(s, sim, gid, gen));
+        }
+        T::RetryAt(t) => {
+            state.storage_mut().fabric.group_mut(gid).pump_scheduled = true;
+            sim.schedule_at(t, move |s, sim| run_transfer(s, sim, gid, gen));
+        }
+    }
+}
+
+/// A batch of journal entries reached the backup-site journal volume.
+/// `serialized` is the instant the frame's last bit left the main site: if
+/// the main site failed before then, the frame never really made it out and
+/// is discarded here.
+fn receive_batch<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    batch: Vec<JournalEntry>,
+    serialized: SimTime,
+    gen: u32,
+) {
+    {
+        let st = state.storage_mut();
+        if st.fabric.group(gid).generation != gen {
+            return; // frame from a superseded replication epoch
+        }
+        let (active, sjid, remote_failed, primary_lost_frame) = {
+            let g = st.fabric.group(gid);
+            let remote_failed = g
+                .pairs
+                .first()
+                .map(|&pid| {
+                    let arr = st.fabric.pair(pid).secondary.array;
+                    st.array(arr).is_failed()
+                })
+                .unwrap_or(false);
+            let primary_lost_frame = g
+                .pairs
+                .first()
+                .and_then(|&pid| {
+                    let arr = st.fabric.pair(pid).primary.array;
+                    st.array(arr).failed_at()
+                })
+                .is_some_and(|failed_at| failed_at < serialized);
+            (
+                g.is_active(),
+                g.secondary_jnl,
+                remote_failed,
+                primary_lost_frame,
+            )
+        };
+        if !active || remote_failed || primary_lost_frame {
+            return; // in-flight data discarded on promote/suspend/disaster
+        }
+        let sjid = sjid.expect("ADC group without secondary journal");
+        for e in batch {
+            st.fabric.journal_mut(sjid).push_arrived(e);
+        }
+    }
+    kick_apply(state, sim, gid, None);
+}
+
+/// Schedule an apply-pump cycle for an ADC group if one is not pending.
+pub fn kick_apply<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    delay: Option<SimDuration>,
+) {
+    {
+        let st = state.storage_mut();
+        let g = st.fabric.group_mut(gid);
+        if g.apply_scheduled || g.mode != GroupMode::Adc || !g.is_active() {
+            return;
+        }
+        g.apply_scheduled = true;
+    }
+    let gen = state.storage().fabric.group(gid).generation;
+    sim.schedule_in(delay.unwrap_or(SimDuration::ZERO), move |s, sim| {
+        run_apply(s, sim, gid, gen)
+    });
+}
+
+fn run_apply<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>, gid: GroupId, gen: u32) {
+    let now = sim.now();
+    if state.storage().fabric.group(gid).generation != gen {
+        return;
+    }
+    let done_at = {
+        let st = state.storage_mut();
+        st.fabric.group_mut(gid).apply_scheduled = false;
+        let (active, sjid) = {
+            let g = st.fabric.group(gid);
+            (g.is_active(), g.secondary_jnl)
+        };
+        if !active {
+            None
+        } else {
+            let sjid = sjid.expect("ADC group without secondary journal");
+            match st.fabric.journal(sjid).peek_front() {
+                None => None,
+                Some(e) => {
+                    let sec = st.fabric.pair(e.pair).secondary;
+                    let lba = e.lba;
+                    if st.array(sec.array).is_failed() {
+                        None
+                    } else {
+                        let cow = st.array(sec.array).cow_would_save(sec.volume, lba);
+                        let perf = st.array(sec.array).perf();
+                        let service =
+                            perf.apply_service + perf.cow_penalty.saturating_mul(cow as u64);
+                        Some(st.array_mut(sec.array).admit(sec.volume, now, service))
+                    }
+                }
+            }
+        }
+    };
+    if let Some(done) = done_at {
+        state.storage_mut().fabric.group_mut(gid).apply_scheduled = true;
+        sim.schedule_at(done, move |s, sim| finish_apply(s, sim, gid, gen));
+    }
+}
+
+fn finish_apply<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    gid: GroupId,
+    gen: u32,
+) {
+    let now = sim.now();
+    if state.storage().fabric.group(gid).generation != gen {
+        return;
+    }
+    let ack = {
+        let st = state.storage_mut();
+        st.fabric.group_mut(gid).apply_scheduled = false;
+        if !st.fabric.group(gid).is_active() {
+            None
+        } else {
+            let sjid = st
+                .fabric
+                .group(gid)
+                .secondary_jnl
+                .expect("ADC group without secondary journal");
+            let e = st
+                .fabric
+                .journal_mut(sjid)
+                .pop_front()
+                .expect("apply completed without a journal entry");
+            let sec = st.fabric.pair(e.pair).secondary;
+            st.array_mut(sec.array).write_block(sec.volume, e.lba, e.data);
+            st.fabric.pair_mut(e.pair).applied_writes += 1;
+            let drained = st.fabric.journal(sjid).is_empty();
+            let seq = e.seq;
+            let (reverse, ack_due) = {
+                let g = st.fabric.group_mut(gid);
+                g.stats.entries_applied += 1;
+                (
+                    g.reverse,
+                    seq - g.applied_ack_sent >= st.config.applied_ack_every || drained,
+                )
+            };
+            if ack_due {
+                let bytes = st.config.ack_frame_bytes;
+                match st.offer_link(reverse, now, bytes) {
+                    TransferOutcome::DeliveredAt { at, .. } => {
+                        st.fabric.group_mut(gid).applied_ack_sent = seq;
+                        Some((seq, at))
+                    }
+                    // Ack loss is tolerated: the next apply retries.
+                    TransferOutcome::Lost | TransferOutcome::Down(_) => None,
+                }
+            } else {
+                None
+            }
+        }
+    };
+    if let Some((upto, t)) = ack {
+        sim.schedule_at(t, move |s, sim| {
+            let _ = sim;
+            let st = s.storage_mut();
+            if st.fabric.group(gid).generation != gen {
+                return;
+            }
+            if let Some(jid) = st.fabric.group(gid).primary_jnl {
+                st.fabric.journal_mut(jid).release_upto(upto);
+            }
+        });
+    }
+    kick_apply(state, sim, gid, None);
+}
+
+/// Restart every parked pump (after healing links or resuming groups).
+pub fn kick_all_pumps<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) {
+    let gids = state.storage_mut().fabric.group_ids();
+    for gid in gids {
+        kick_transfer(state, sim, gid, Some(SimDuration::ZERO));
+        kick_apply(state, sim, gid, None);
+    }
+}

@@ -1,0 +1,53 @@
+//! # tsuru-storage — a two-site block-storage array simulator
+//!
+//! The storage substrate of the Tsuru reproduction: everything the paper's
+//! Hitachi VSP G370 pair provides, built from scratch on the deterministic
+//! simulation kernel:
+//!
+//! - volumes with per-volume FIFO service stations ([`StorageArray`]);
+//! - **asynchronous data copy** through journal volumes, with transfer and
+//!   apply pumps ([`engine`]);
+//! - **consistency groups** — pairs sharing one journal and one sequence
+//!   space ([`ReplicationFabric`]);
+//! - **synchronous data copy** as the latency baseline;
+//! - **copy-on-write snapshots** and atomic snapshot groups;
+//! - failure injection (array/site failure, link outages) and failover;
+//! - a formal **write-order-fidelity checker** ([`AckLog`]) that decides
+//!   whether a backup image is a prefix-consistent cut of the primary's
+//!   acknowledgement order — the property the paper's consistency groups
+//!   exist to protect.
+
+#![warn(missing_docs)]
+
+mod acklog;
+mod array;
+mod block;
+mod config;
+mod device;
+pub mod engine;
+mod fabric;
+mod journal;
+mod pool;
+mod snapshot;
+mod status;
+mod volume;
+mod world;
+
+pub use acklog::{AckEntry, AckLog, PrefixReport};
+pub use array::{ArrayPerf, StorageArray, WriteError, DEFAULT_POOL_CAPACITY};
+pub use block::{
+    block_from, content_hash, ArrayId, BlockBuf, GroupId, JournalId, PairId, SnapshotId, VolRef,
+    VolumeId, BLOCK_SIZE,
+};
+pub use config::{EngineConfig, JournalFullPolicy};
+pub use device::{BlockDevice, BlockDeviceMut, MemDevice, SnapshotView, VolumeView};
+pub use engine::{host_read, host_read_snapshot, host_write, kick_all_pumps, WriteAck};
+pub use fabric::{
+    Group, GroupMode, GroupState, GroupStats, Pair, ReplicationFabric, SuspendReason,
+};
+pub use journal::{Journal, JournalEntry};
+pub use pool::{Pool, PoolId};
+pub use status::{group_status, render_pool_status, render_replication_status, GroupStatus};
+pub use snapshot::Snapshot;
+pub use volume::{Volume, VolumeRole};
+pub use world::{ConsistencyReport, HasStorage, RpoReport, StorageWorld, WorldStats};

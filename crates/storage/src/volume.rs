@@ -1,0 +1,213 @@
+//! The volume: a sparse array of blocks with write-generation tracking.
+
+use std::collections::HashMap;
+
+use crate::block::{content_hash, BlockBuf, VolumeId, BLOCK_SIZE};
+
+/// Role a volume plays in replication, mirroring array semantics: secondary
+/// volumes reject host writes until promoted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeRole {
+    /// Accepts host I/O (default).
+    Primary,
+    /// Target of replication; host writes are fenced.
+    Secondary,
+}
+
+/// A logical volume: sparse block map plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    id: VolumeId,
+    name: String,
+    size_blocks: u64,
+    blocks: HashMap<u64, BlockBuf>,
+    role: VolumeRole,
+    writes: u64,
+}
+
+impl Volume {
+    /// A new, entirely unwritten volume.
+    pub fn new(id: VolumeId, name: impl Into<String>, size_blocks: u64) -> Self {
+        assert!(size_blocks > 0, "volume must have at least one block");
+        Volume {
+            id,
+            name: name.into(),
+            size_blocks,
+            blocks: HashMap::new(),
+            role: VolumeRole::Primary,
+            writes: 0,
+        }
+    }
+
+    /// The volume id.
+    pub fn id(&self) -> VolumeId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `sales-data`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in blocks.
+    pub fn size_blocks(&self) -> u64 {
+        self.size_blocks
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_blocks * BLOCK_SIZE as u64
+    }
+
+    /// Current replication role.
+    pub fn role(&self) -> VolumeRole {
+        self.role
+    }
+
+    /// Change the replication role (array control plane only).
+    pub fn set_role(&mut self, role: VolumeRole) {
+        self.role = role;
+    }
+
+    /// Number of blocks that have ever been written.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total write operations applied.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Read a block; `None` if it was never written.
+    pub fn read(&self, lba: u64) -> Option<&BlockBuf> {
+        assert!(lba < self.size_blocks, "lba {lba} out of range on {}", self.name);
+        self.blocks.get(&lba)
+    }
+
+    /// Overwrite a block, returning the previous content (for copy-on-write
+    /// snapshot bookkeeping by the owning array).
+    pub fn write(&mut self, lba: u64, data: BlockBuf) -> Option<BlockBuf> {
+        assert!(lba < self.size_blocks, "lba {lba} out of range on {}", self.name);
+        assert_eq!(
+            data.len(),
+            BLOCK_SIZE,
+            "block write must be exactly {BLOCK_SIZE} bytes"
+        );
+        self.writes += 1;
+        self.blocks.insert(lba, data)
+    }
+
+    /// Remove all content (volume format).
+    pub fn wipe(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Iterate over `(lba, block)` in unspecified order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &BlockBuf)> {
+        self.blocks.iter().map(|(&lba, b)| (lba, b))
+    }
+
+    /// Content fingerprint of every allocated block, keyed by LBA.
+    /// Used by the write-order-fidelity checker to compare a secondary
+    /// volume against the expected prefix state.
+    pub fn content_hashes(&self) -> HashMap<u64, u64> {
+        self.blocks
+            .iter()
+            .map(|(&lba, b)| (lba, content_hash(b)))
+            .collect()
+    }
+
+    /// Copy every allocated block from `src` (replication initial copy).
+    pub fn clone_content_from(&mut self, src: &Volume) {
+        assert!(
+            src.size_blocks <= self.size_blocks,
+            "initial copy source larger than target"
+        );
+        self.blocks = src.blocks.clone();
+        self.writes += src.blocks.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::block_from;
+
+    fn vol() -> Volume {
+        Volume::new(VolumeId(1), "test", 100)
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut v = vol();
+        assert!(v.read(5).is_none());
+        v.write(5, block_from(b"data"));
+        assert_eq!(&v.read(5).unwrap()[..4], b"data");
+        assert_eq!(v.allocated_blocks(), 1);
+        assert_eq!(v.write_count(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_old_content() {
+        let mut v = vol();
+        v.write(5, block_from(b"old"));
+        let prev = v.write(5, block_from(b"new")).unwrap();
+        assert_eq!(&prev[..3], b"old");
+        assert_eq!(&v.read(5).unwrap()[..3], b"new");
+        assert_eq!(v.allocated_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_out_of_range_panics() {
+        let v = vol();
+        let _ = v.read(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_out_of_range_panics() {
+        let mut v = vol();
+        v.write(100, block_from(b"x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn short_write_panics() {
+        let mut v = vol();
+        v.write(0, BlockBuf::from_static(b"tiny"));
+    }
+
+    #[test]
+    fn clone_content_copies_everything() {
+        let mut a = vol();
+        a.write(1, block_from(b"one"));
+        a.write(2, block_from(b"two"));
+        let mut b = Volume::new(VolumeId(2), "copy", 100);
+        b.clone_content_from(&a);
+        assert_eq!(&b.read(1).unwrap()[..3], b"one");
+        assert_eq!(&b.read(2).unwrap()[..3], b"two");
+        assert_eq!(b.allocated_blocks(), 2);
+    }
+
+    #[test]
+    fn content_hashes_match_equal_content() {
+        let mut a = vol();
+        let mut b = vol();
+        a.write(3, block_from(b"same"));
+        b.write(3, block_from(b"same"));
+        assert_eq!(a.content_hashes(), b.content_hashes());
+        b.write(4, block_from(b"more"));
+        assert_ne!(a.content_hashes(), b.content_hashes());
+    }
+
+    #[test]
+    fn wipe_clears_blocks() {
+        let mut v = vol();
+        v.write(0, block_from(b"x"));
+        v.wipe();
+        assert_eq!(v.allocated_blocks(), 0);
+        assert!(v.read(0).is_none());
+    }
+}

@@ -1,0 +1,775 @@
+//! The storage world: arrays + network + replication fabric + ack log.
+//!
+//! [`StorageWorld`] is the single mutable state that the discrete-event
+//! engine (see [`crate::engine`]) operates on. Control-plane operations
+//! (volume/pair/group lifecycle, snapshots, failover) are synchronous
+//! methods here; the timed data plane lives in `engine`.
+
+use std::collections::HashMap;
+
+use tsuru_sim::{DetRng, SimDuration, SimTime};
+use tsuru_simnet::{LinkConfig, LinkId, Network, TransferOutcome};
+
+use crate::acklog::{AckLog, PrefixReport};
+use crate::array::{ArrayPerf, StorageArray, WriteError};
+use crate::block::{block_from, ArrayId, BlockBuf, GroupId, PairId, SnapshotId, VolRef, VolumeId};
+use crate::config::{EngineConfig, JournalFullPolicy};
+use crate::fabric::{
+    Group, GroupMode, GroupState, Pair, ReplicationFabric, SuspendReason,
+};
+use crate::journal::JournalEntry;
+use crate::volume::VolumeRole;
+
+/// Counters global to the world.
+#[derive(Debug, Default, Clone)]
+pub struct WorldStats {
+    /// Host writes rejected because the target array failed.
+    pub failed_writes: u64,
+    /// Host write attempts stalled by a full journal (Block policy).
+    pub journal_stall_retries: u64,
+}
+
+/// Access to the storage world from an arbitrary simulation state type.
+///
+/// The discrete-event engine functions are generic over the world type `S`,
+/// so higher layers (database drivers, the demo system) can embed a
+/// [`StorageWorld`] in a larger state struct and still use the engine.
+pub trait HasStorage {
+    /// Borrow the storage world.
+    fn storage(&self) -> &StorageWorld;
+    /// Mutably borrow the storage world.
+    fn storage_mut(&mut self) -> &mut StorageWorld;
+}
+
+impl HasStorage for StorageWorld {
+    fn storage(&self) -> &StorageWorld {
+        self
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        self
+    }
+}
+
+/// Result of the write-order-fidelity verification of a backup image.
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// Formal prefix-consistency verdict against the global ack order.
+    pub prefix: PrefixReport,
+    /// Blocks whose secondary content does not match the expected prefix
+    /// image (always empty unless there is an engine bug).
+    pub content_mismatches: Vec<String>,
+}
+
+impl ConsistencyReport {
+    /// True iff both the ordering and the content checks passed.
+    pub fn is_consistent(&self) -> bool {
+        self.prefix.consistent && self.content_mismatches.is_empty()
+    }
+}
+
+/// Recovery-point metrics at failover time (experiment E3).
+#[derive(Debug, Clone)]
+pub struct RpoReport {
+    /// Writes acknowledged at the main site but absent from the backup.
+    pub lost_writes: u64,
+    /// Writes acknowledged at the main site in total (across the groups).
+    pub acked_writes: u64,
+    /// Age of the backup image: failure time minus the ack time of the
+    /// newest write present at the backup site.
+    pub rpo: SimDuration,
+}
+
+/// What a group resynchronisation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// Blocks copied from primary to secondary volumes.
+    pub blocks_copied: u64,
+    /// True if only the suspended-era delta was copied (vs a full copy).
+    pub delta: bool,
+}
+
+/// The complete storage-layer state of a multi-site deployment.
+#[derive(Debug)]
+pub struct StorageWorld {
+    /// Engine tunables.
+    pub config: EngineConfig,
+    arrays: Vec<StorageArray>,
+    /// Inter-site links.
+    pub net: Network,
+    /// Pairs, groups, journals.
+    pub fabric: ReplicationFabric,
+    /// Global ack-order log (the write-order-fidelity oracle).
+    pub ack_log: AckLog,
+    /// Counters.
+    pub stats: WorldStats,
+    rng: DetRng,
+    control_time: SimTime,
+}
+
+impl StorageWorld {
+    /// A new world with the given seed and configuration.
+    pub fn new(seed: u64, config: EngineConfig) -> Self {
+        StorageWorld {
+            config,
+            arrays: Vec::new(),
+            net: Network::new(),
+            fabric: ReplicationFabric::new(),
+            ack_log: AckLog::new(),
+            stats: WorldStats::default(),
+            rng: DetRng::new(seed),
+            control_time: SimTime::ZERO,
+        }
+    }
+
+    /// The control-plane clock: set by the orchestrator before running
+    /// reconcilers so that control operations (snapshots, suspensions)
+    /// carry the right simulated timestamp.
+    pub fn control_time(&self) -> SimTime {
+        self.control_time
+    }
+
+    /// Advance the control-plane clock (monotonic).
+    pub fn set_control_time(&mut self, now: SimTime) {
+        self.control_time = self.control_time.max(now);
+    }
+
+    // ----- arrays / volumes -------------------------------------------------
+
+    /// Register a new array.
+    pub fn add_array(&mut self, name: impl Into<String>, perf: ArrayPerf) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(StorageArray::new(id, name, perf));
+        id
+    }
+
+    /// Borrow an array.
+    pub fn array(&self, id: ArrayId) -> &StorageArray {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Mutably borrow an array.
+    pub fn array_mut(&mut self, id: ArrayId) -> &mut StorageArray {
+        &mut self.arrays[id.0 as usize]
+    }
+
+    /// Number of registered arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Create a volume and return a fully qualified reference.
+    pub fn create_volume(
+        &mut self,
+        array: ArrayId,
+        name: impl Into<String>,
+        size_blocks: u64,
+    ) -> VolRef {
+        let volume = self.array_mut(array).create_volume(name, size_blocks);
+        VolRef { array, volume }
+    }
+
+    /// Zero-time block write that bypasses the data path and replication.
+    /// For initial formatting before pairs exist (e.g. `mkfs` of the
+    /// databases); payload shorter than a block is zero-padded.
+    pub fn write_direct(&mut self, vol: VolRef, lba: u64, data: &[u8]) {
+        self.array_mut(vol.array)
+            .write_block(vol.volume, lba, block_from(data));
+    }
+
+    /// Zero-time block read bypassing the data path.
+    pub fn read_direct(&self, vol: VolRef, lba: u64) -> Option<&BlockBuf> {
+        self.array(vol.array).read_block(vol.volume, lba)
+    }
+
+    /// Register an inter-site link with a dedicated jitter/loss stream.
+    pub fn add_link(&mut self, config: LinkConfig) -> LinkId {
+        let stream = 0x1000 + self.net.len() as u64;
+        let rng = self.rng.derive(stream);
+        self.net.add_link(config, rng)
+    }
+
+    // ----- replication groups / pairs ----------------------------------------
+
+    /// Create an ADC replication group with fresh journals on both sites.
+    /// With more than one member pair this *is* a consistency group: all
+    /// members share the journal's sequence space.
+    pub fn create_adc_group(
+        &mut self,
+        name: impl Into<String>,
+        link: LinkId,
+        reverse: LinkId,
+        journal_capacity_bytes: u64,
+    ) -> GroupId {
+        let overhead = self.config.journal_entry_overhead;
+        let pj = self.fabric.add_journal(journal_capacity_bytes, overhead);
+        let sj = self.fabric.add_journal(journal_capacity_bytes, overhead);
+        let id = self.fabric.next_group_id();
+        let rng = self.rng.derive(0x2000 + id.0 as u64);
+        self.fabric.add_group(Group {
+            id,
+            name: name.into(),
+            mode: GroupMode::Adc,
+            primary_jnl: Some(pj),
+            secondary_jnl: Some(sj),
+            link,
+            reverse,
+            pairs: Vec::new(),
+            state: GroupState::Active,
+            pump_scheduled: false,
+            apply_scheduled: false,
+            applied_ack_sent: 0,
+            generation: 0,
+            rng,
+            stats: Default::default(),
+        })
+    }
+
+    /// Create a synchronous (SDC) replication group.
+    pub fn create_sdc_group(
+        &mut self,
+        name: impl Into<String>,
+        link: LinkId,
+        reverse: LinkId,
+    ) -> GroupId {
+        let id = self.fabric.next_group_id();
+        let rng = self.rng.derive(0x2000 + id.0 as u64);
+        self.fabric.add_group(Group {
+            id,
+            name: name.into(),
+            mode: GroupMode::Sdc,
+            primary_jnl: None,
+            secondary_jnl: None,
+            link,
+            reverse,
+            pairs: Vec::new(),
+            state: GroupState::Active,
+            pump_scheduled: false,
+            apply_scheduled: false,
+            applied_ack_sent: 0,
+            generation: 0,
+            rng,
+            stats: Default::default(),
+        })
+    }
+
+    /// Add a primary→secondary pair to a group. Performs the initial copy
+    /// (all current primary content is cloned to the secondary, §III-A1)
+    /// and fences the secondary against host writes.
+    pub fn add_pair(&mut self, group: GroupId, primary: VolRef, secondary: VolRef) -> PairId {
+        assert_ne!(
+            primary, secondary,
+            "a volume cannot replicate to itself"
+        );
+        // Initial copy: snapshot of the primary's current content.
+        let (content, initial_hashes) = {
+            let pv = self.array(primary.array).volume(primary.volume);
+            let blocks: Vec<(u64, BlockBuf)> =
+                pv.iter_blocks().map(|(lba, b)| (lba, b.clone())).collect();
+            (blocks, pv.content_hashes())
+        };
+        {
+            let sa = self.array_mut(secondary.array);
+            let sv = sa.volume_mut(secondary.volume);
+            assert!(
+                sv.size_blocks() >= initial_hashes.len() as u64,
+                "secondary too small for initial copy"
+            );
+            sv.wipe();
+            for (lba, b) in content {
+                sv.write(lba, b);
+            }
+            sv.set_role(VolumeRole::Secondary);
+        }
+        let id = self.fabric.next_pair_id();
+        let ack_offset = self.ack_log.count_for(primary);
+        self.fabric.add_pair(Pair {
+            id,
+            group,
+            primary,
+            secondary,
+            ack_offset,
+            acked_writes: 0,
+            applied_writes: 0,
+            initial_hashes,
+            dirty_since_suspend: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Tear down a pair: stop intercepting writes and unfence the secondary.
+    pub fn remove_pair(&mut self, id: PairId) {
+        let secondary = self.fabric.pair(id).secondary;
+        self.fabric.detach_pair(id);
+        self.array_mut(secondary.array)
+            .volume_mut(secondary.volume)
+            .set_role(VolumeRole::Primary);
+    }
+
+    /// Operator suspend of a group.
+    pub fn suspend_group(&mut self, id: GroupId, now: SimTime) {
+        self.fabric
+            .group_mut(id)
+            .suspend(now, SuspendReason::Operator);
+    }
+
+    /// Resume a suspended group by resynchronising every member pair and
+    /// opening a fresh replication epoch.
+    ///
+    /// A *suspended* group gets a **delta resync**: only the blocks written
+    /// while suspended (the dirty bitmap) plus whatever was stranded in the
+    /// journal are recopied — mirroring how arrays avoid full re-copies
+    /// after short splits. Any other group gets a full initial copy. Both
+    /// journals are replaced and the group's generation is bumped so that
+    /// in-flight frames and pump events from the old epoch are discarded.
+    pub fn resync_group(&mut self, id: GroupId) -> ResyncReport {
+        let suspended = matches!(self.fabric.group(id).state, GroupState::Suspended { .. });
+        let pair_ids = self.fabric.group(id).pairs.clone();
+        let mut blocks_copied = 0u64;
+        let delta = suspended;
+        for pid in pair_ids {
+            let (primary, secondary) = {
+                let p = self.fabric.pair(pid);
+                (p.primary, p.secondary)
+            };
+            // The working set: blocks dirtied while suspended, plus
+            // whatever still sat in the primary journal (sent or not —
+            // recopying an already-applied block is harmless).
+            let lbas: Vec<u64> = if delta {
+                let mut set = std::mem::take(&mut self.fabric.pair_mut(pid).dirty_since_suspend);
+                if let Some(jid) = self.fabric.group(id).primary_jnl {
+                    let jnl = self.fabric.journal(jid);
+                    let mut e = jnl.peek_front().map(|x| x.seq);
+                    // Walk the retained entries of this pair.
+                    let _ = &mut e;
+                    for entry in jnl.entries_for(pid) {
+                        set.insert(entry);
+                    }
+                }
+                set.into_iter().collect()
+            } else {
+                self.array(primary.array)
+                    .volume(primary.volume)
+                    .iter_blocks()
+                    .map(|(lba, _)| lba)
+                    .collect()
+            };
+            let blocks: Vec<(u64, BlockBuf)> = {
+                let pv = self.array(primary.array).volume(primary.volume);
+                lbas.iter()
+                    .filter_map(|&lba| pv.read(lba).map(|b| (lba, b.clone())))
+                    .collect()
+            };
+            blocks_copied += blocks.len() as u64;
+            if !delta {
+                self.array_mut(secondary.array)
+                    .volume_mut(secondary.volume)
+                    .wipe();
+            }
+            for (lba, b) in blocks {
+                self.array_mut(secondary.array)
+                    .write_block(secondary.volume, lba, b);
+            }
+            let hashes = self
+                .array(primary.array)
+                .volume(primary.volume)
+                .content_hashes();
+            let offset = self.ack_log.count_for(primary);
+            let p = self.fabric.pair_mut(pid);
+            p.initial_hashes = hashes;
+            p.ack_offset = offset;
+            p.acked_writes = 0;
+            p.applied_writes = 0;
+            p.dirty_since_suspend.clear();
+        }
+        // Fresh journals and a new replication epoch: in-flight frames and
+        // pump events from the old epoch are discarded by their generation
+        // tag.
+        let capacity_overhead = {
+            let g = self.fabric.group(id);
+            g.primary_jnl.map(|j| {
+                let jnl = self.fabric.journal(j);
+                (jnl.capacity_bytes(), self.config.journal_entry_overhead)
+            })
+        };
+        if let Some((capacity, overhead)) = capacity_overhead {
+            let pj = self.fabric.add_journal(capacity, overhead);
+            let sj = self.fabric.add_journal(capacity, overhead);
+            let g = self.fabric.group_mut(id);
+            g.primary_jnl = Some(pj);
+            g.secondary_jnl = Some(sj);
+        }
+        let g = self.fabric.group_mut(id);
+        g.generation += 1;
+        g.pump_scheduled = false;
+        g.apply_scheduled = false;
+        g.applied_ack_sent = 0;
+        g.resume();
+        ResyncReport {
+            blocks_copied,
+            delta,
+        }
+    }
+
+    // ----- failure & failover -------------------------------------------------
+
+    /// Site disaster at `now`: the array stops serving I/O and replication
+    /// frames that had not fully left the site are lost.
+    pub fn fail_array(&mut self, id: ArrayId, now: SimTime) {
+        self.arrays[id.0 as usize].fail(now);
+    }
+
+    /// Failover a group to the backup site: apply every journal entry that
+    /// reached the backup, promote the secondaries to writable primaries
+    /// and freeze replication. Returns the number of entries applied during
+    /// promotion. Synchronous: RTO accounting is done by the caller.
+    pub fn promote_group(&mut self, id: GroupId) -> u64 {
+        let (sjnl, pair_ids) = {
+            let g = self.fabric.group(id);
+            (g.secondary_jnl, g.pairs.clone())
+        };
+        let mut applied = 0u64;
+        if let Some(jid) = sjnl {
+            let entries: Vec<JournalEntry> = self.fabric.journal_mut(jid).drain_all();
+            for e in entries {
+                let secondary = self.fabric.pair(e.pair).secondary;
+                self.array_mut(secondary.array)
+                    .write_block(secondary.volume, e.lba, e.data);
+                self.fabric.pair_mut(e.pair).applied_writes += 1;
+                applied += 1;
+            }
+        }
+        for pid in pair_ids {
+            let secondary = self.fabric.pair(pid).secondary;
+            self.array_mut(secondary.array)
+                .volume_mut(secondary.volume)
+                .set_role(VolumeRole::Primary);
+        }
+        let g = self.fabric.group_mut(id);
+        g.state = GroupState::Promoted;
+        g.generation += 1;
+        g.stats.entries_applied += applied;
+        applied
+    }
+
+    /// Failback step 1 — reverse protection: after a failover (the group is
+    /// `Promoted`) and once the original site's array has been repaired
+    /// (`StorageArray::recover`), re-protect the business in the opposite
+    /// direction: the promoted volumes become primaries of a new ADC group
+    /// replicating back to the original volumes. Performs a full initial
+    /// copy (the original content is stale). Returns the new group.
+    pub fn establish_reverse_group(
+        &mut self,
+        promoted: GroupId,
+        link: LinkId,
+        reverse: LinkId,
+        journal_capacity_bytes: u64,
+    ) -> GroupId {
+        assert_eq!(
+            self.fabric.group(promoted).state,
+            GroupState::Promoted,
+            "reverse protection requires a promoted group"
+        );
+        let old_pairs = self.fabric.group(promoted).pairs.clone();
+        // Verify the target site is back before touching anything.
+        for &pid in &old_pairs {
+            let old_primary = self.fabric.pair(pid).primary;
+            assert!(
+                !self.array(old_primary.array).is_failed(),
+                "original array must be recovered before failback"
+            );
+        }
+        // Detach the old pairs: their primaries are about to become
+        // replication targets.
+        let endpoints: Vec<(VolRef, VolRef)> = old_pairs
+            .iter()
+            .map(|&pid| {
+                let p = self.fabric.pair(pid);
+                (p.primary, p.secondary)
+            })
+            .collect();
+        for &pid in &old_pairs {
+            self.fabric.detach_pair(pid);
+        }
+        let name = format!("{}-reversed", self.fabric.group(promoted).name);
+        let new_group = self.create_adc_group(name, link, reverse, journal_capacity_bytes);
+        for (old_primary, old_secondary) in endpoints {
+            // Direction flips: promoted volume → original volume.
+            self.add_pair(new_group, old_secondary, old_primary);
+        }
+        new_group
+    }
+
+    // ----- snapshots -----------------------------------------------------------
+
+    /// Snapshot one volume.
+    pub fn snapshot(&mut self, vol: VolRef, name: impl Into<String>, now: SimTime) -> SnapshotId {
+        self.array_mut(vol.array)
+            .create_snapshot(vol.volume, name, now)
+    }
+
+    /// Atomically snapshot several volumes on one array (snapshot group).
+    pub fn snapshot_group(
+        &mut self,
+        array: ArrayId,
+        vols: &[VolumeId],
+        name_prefix: &str,
+        now: SimTime,
+    ) -> Vec<SnapshotId> {
+        self.array_mut(array)
+            .create_snapshot_group(vols, name_prefix, now)
+    }
+
+    // ----- verification ---------------------------------------------------------
+
+    /// Applied-write counts per *primary* volume for the given groups
+    /// (the cut vector the backup image represents).
+    pub fn applied_counts(&self, groups: &[GroupId]) -> HashMap<VolRef, u64> {
+        let mut out = HashMap::new();
+        for &gid in groups {
+            for &pid in &self.fabric.group(gid).pairs {
+                let p = self.fabric.pair(pid);
+                out.insert(p.primary, p.ack_offset + p.applied_writes);
+            }
+        }
+        out
+    }
+
+    /// Verify that the backup image of the given groups is a
+    /// prefix-consistent cut of the global ack order, and that the
+    /// secondary volumes' bytes match that prefix exactly.
+    pub fn verify_consistency(&self, groups: &[GroupId]) -> ConsistencyReport {
+        let applied = self.applied_counts(groups);
+        let prefix = self.ack_log.check_prefix(&applied);
+        let mut content_mismatches = Vec::new();
+        for &gid in groups {
+            for &pid in &self.fabric.group(gid).pairs {
+                let p = self.fabric.pair(pid);
+                let expected = self.ack_log.expected_content(
+                    p.primary,
+                    p.ack_offset,
+                    p.applied_writes,
+                    &p.initial_hashes,
+                );
+                let actual = self
+                    .array(p.secondary.array)
+                    .volume(p.secondary.volume)
+                    .content_hashes();
+                if expected != actual {
+                    let missing = expected
+                        .iter()
+                        .filter(|(lba, h)| actual.get(lba) != Some(h))
+                        .count();
+                    let extra = actual
+                        .iter()
+                        .filter(|(lba, h)| expected.get(lba) != Some(h))
+                        .count();
+                    content_mismatches.push(format!(
+                        "pair {}→{}: {missing} blocks wrong/missing, {extra} unexpected",
+                        p.primary, p.secondary
+                    ));
+                }
+            }
+        }
+        ConsistencyReport {
+            prefix,
+            content_mismatches,
+        }
+    }
+
+    /// Recovery-point metrics for the given groups after a main-site
+    /// failure at `failure_time`.
+    pub fn rpo_report(&self, groups: &[GroupId], failure_time: SimTime) -> RpoReport {
+        let mut lost = 0u64;
+        let mut acked = 0u64;
+        for &gid in groups {
+            for &pid in &self.fabric.group(gid).pairs {
+                let p = self.fabric.pair(pid);
+                acked += p.acked_writes;
+                lost += p.acked_writes.saturating_sub(p.applied_writes);
+            }
+        }
+        let applied = self.applied_counts(groups);
+        let cut_time = self
+            .ack_log
+            .check_prefix(&applied)
+            .cut_time
+            .unwrap_or(SimTime::ZERO);
+        RpoReport {
+            lost_writes: lost,
+            acked_writes: acked,
+            rpo: failure_time.saturating_since(cut_time),
+        }
+    }
+
+    // ----- internals shared with the engine -------------------------------------
+
+    /// Persist a block locally and record the host acknowledgement.
+    /// Returns the write's global ack index.
+    pub(crate) fn commit_local(
+        &mut self,
+        now: SimTime,
+        vol: VolRef,
+        lba: u64,
+        data: BlockBuf,
+        hash: u64,
+    ) -> u64 {
+        self.arrays[vol.array.0 as usize].write_block(vol.volume, lba, data);
+        self.ack_log.append(vol, lba, hash, now)
+    }
+
+    /// Sample the next pump delay for a group (base interval plus jitter).
+    pub(crate) fn pump_delay(&mut self, group: GroupId) -> SimDuration {
+        let base = self.config.pump_interval;
+        let jitter = self.config.pump_jitter;
+        if jitter.is_zero() {
+            return base;
+        }
+        let g = self.fabric.group_mut(group);
+        base + SimDuration::from_nanos(g.rng.gen_range(jitter.as_nanos() + 1))
+    }
+
+    /// Check whether a host write may proceed.
+    pub(crate) fn check_host_write(&mut self, vol: VolRef, lba: u64) -> Result<(), WriteError> {
+        self.arrays[vol.array.0 as usize].check_host_write(vol.volume, lba)
+    }
+
+    /// Offer a frame on a link.
+    pub(crate) fn offer_link(
+        &mut self,
+        link: LinkId,
+        now: SimTime,
+        bytes: u64,
+    ) -> TransferOutcome {
+        self.net.link_mut(link).offer(now, bytes)
+    }
+
+    /// Journal-full policy accessor (engine convenience).
+    pub(crate) fn journal_full_policy(&self) -> JournalFullPolicy {
+        self.config.journal_full_policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> StorageWorld {
+        StorageWorld::new(7, EngineConfig::default())
+    }
+
+    #[test]
+    fn two_site_setup() {
+        let mut w = world();
+        let main = w.add_array("vsp-main", ArrayPerf::default());
+        let backup = w.add_array("vsp-backup", ArrayPerf::default());
+        assert_eq!(w.array_count(), 2);
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("cg-demo", l, r, 1 << 20);
+        let p1 = w.create_volume(main, "sales-data", 64);
+        let s1 = w.create_volume(backup, "sales-data-r", 64);
+        let pid = w.add_pair(g, p1, s1);
+        assert_eq!(w.fabric.pair_by_primary(p1), Some(pid));
+        assert_eq!(
+            w.array(backup).volume(s1.volume).role(),
+            VolumeRole::Secondary
+        );
+    }
+
+    #[test]
+    fn initial_copy_clones_content() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let backup = w.add_array("b", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        w.write_direct(p, 3, b"formatted");
+        let s = w.create_volume(backup, "s", 16);
+        w.add_pair(g, p, s);
+        assert_eq!(&w.read_direct(s, 3).unwrap()[..9], b"formatted");
+        let pair = w.fabric.pair(PairId(0));
+        assert_eq!(pair.initial_hashes.len(), 1);
+    }
+
+    #[test]
+    fn remove_pair_unfences_secondary() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let backup = w.add_array("b", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        let s = w.create_volume(backup, "s", 16);
+        let pid = w.add_pair(g, p, s);
+        assert!(w.check_host_write(s, 0).is_err());
+        w.remove_pair(pid);
+        assert!(w.check_host_write(s, 0).is_ok());
+        assert_eq!(w.fabric.pair_by_primary(p), None);
+    }
+
+    #[test]
+    fn verify_consistency_on_fresh_pair_passes() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let backup = w.add_array("b", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        w.write_direct(p, 0, b"base");
+        let s = w.create_volume(backup, "s", 16);
+        w.add_pair(g, p, s);
+        let rep = w.verify_consistency(&[g]);
+        assert!(rep.is_consistent(), "{rep:?}");
+    }
+
+    #[test]
+    fn promote_empty_group_promotes_volumes() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let backup = w.add_array("b", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        let s = w.create_volume(backup, "s", 16);
+        w.add_pair(g, p, s);
+        let applied = w.promote_group(g);
+        assert_eq!(applied, 0);
+        assert_eq!(
+            w.array(backup).volume(s.volume).role(),
+            VolumeRole::Primary
+        );
+        assert_eq!(w.fabric.group(g).state, GroupState::Promoted);
+    }
+
+    #[test]
+    fn rpo_on_idle_groups_is_zero_loss() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let backup = w.add_array("b", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        let s = w.create_volume(backup, "s", 16);
+        w.add_pair(g, p, s);
+        let rpo = w.rpo_report(&[g], SimTime::from_secs(10));
+        assert_eq!(rpo.lost_writes, 0);
+        assert_eq!(rpo.acked_writes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicate to itself")]
+    fn self_pair_rejected() {
+        let mut w = world();
+        let main = w.add_array("m", ArrayPerf::default());
+        let l = w.add_link(LinkConfig::metro());
+        let r = w.add_link(LinkConfig::metro());
+        let g = w.create_adc_group("g", l, r, 1 << 20);
+        let p = w.create_volume(main, "p", 16);
+        w.add_pair(g, p, p);
+    }
+}

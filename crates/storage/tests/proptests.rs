@@ -1,0 +1,271 @@
+//! Property-based tests of the storage layer.
+//!
+//! The headline property is the paper's central guarantee, checked over
+//! randomized workloads and failure times: **a consistency-group backup is
+//! a prefix-consistent cut of the primary's ack order, no matter when the
+//! site dies.**
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsuru_sim::{Sim, SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+use tsuru_storage::engine::host_write;
+use tsuru_storage::{
+    block_from, AckLog, ArrayPerf, EngineConfig, HasStorage, StorageWorld, VolRef,
+};
+
+// ---------------------------------------------------------------------
+// AckLog prefix checker vs a brute-force reference
+// ---------------------------------------------------------------------
+
+/// Reference implementation: a cut (k_v per volume) is prefix-consistent
+/// iff it equals the per-volume counts of some global prefix.
+fn prefix_reference(order: &[usize], counts: &HashMap<usize, u64>) -> bool {
+    let nvol = counts.keys().max().map(|m| m + 1).unwrap_or(0);
+    let mut running = vec![0u64; nvol];
+    let target: Vec<u64> = (0..nvol)
+        .map(|v| counts.get(&v).copied().unwrap_or(0))
+        .collect();
+    let matches = |running: &[u64]| running == target.as_slice();
+    if matches(&running) {
+        return true;
+    }
+    for &v in order {
+        running[v] += 1;
+        if matches(&running) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prefix_checker_matches_reference(
+        order in prop::collection::vec(0usize..4, 1..60),
+        cut_fracs in prop::collection::vec(0.0f64..=1.0, 4),
+    ) {
+        let mut log = AckLog::new();
+        let volref = |v: usize| VolRef::new(
+            tsuru_storage::ArrayId(0),
+            tsuru_storage::VolumeId(v as u64),
+        );
+        let mut per_vol_total = [0u64; 4];
+        for (i, &v) in order.iter().enumerate() {
+            log.append(volref(v), i as u64, i as u64, SimTime::from_nanos(i as u64));
+            per_vol_total[v] += 1;
+        }
+        // Build an arbitrary cut (not necessarily a prefix).
+        let mut counts = HashMap::new();
+        let mut ref_counts = HashMap::new();
+        for v in 0..4usize {
+            let k = (per_vol_total[v] as f64 * cut_fracs[v]).round() as u64;
+            counts.insert(volref(v), k);
+            ref_counts.insert(v, k);
+        }
+        let verdict = log.check_prefix(&counts).consistent;
+        let reference = prefix_reference(&order, &ref_counts);
+        prop_assert_eq!(verdict, reference, "order={:?} cut={:?}", order, ref_counts);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine property: CG backups are always prefix-consistent cuts
+// ---------------------------------------------------------------------
+
+struct World {
+    st: StorageWorld,
+}
+impl HasStorage for World {
+    fn storage(&self) -> &StorageWorld {
+        &self.st
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        &mut self.st
+    }
+}
+
+/// One randomized write: (volume index, lba, issue-time offset ns).
+#[derive(Debug, Clone)]
+struct W {
+    vol: usize,
+    lba: u64,
+    at_ns: u64,
+}
+
+fn writes_strategy() -> impl Strategy<Value = Vec<W>> {
+    prop::collection::vec(
+        (0usize..3, 0u64..64, 0u64..20_000_000u64)
+            .prop_map(|(vol, lba, at_ns)| W { vol, lba, at_ns }),
+        10..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cg_backup_is_always_a_prefix_cut(
+        writes in writes_strategy(),
+        fail_frac in 0.1f64..1.0,
+        seed in any::<u64>(),
+        jitter_us in 0u64..3000,
+    ) {
+        let mut cfg = EngineConfig::default();
+        cfg.pump_jitter = SimDuration::from_micros(jitter_us);
+        let mut st = StorageWorld::new(seed, cfg);
+        let main = st.add_array("m", ArrayPerf::default());
+        let backup = st.add_array("b", ArrayPerf::default());
+        let link = st.add_link(LinkConfig::metro());
+        let rev = st.add_link(LinkConfig::metro());
+        let g = st.create_adc_group("cg", link, rev, 1 << 24);
+        let mut vols = Vec::new();
+        for i in 0..3 {
+            let p = st.create_volume(main, format!("p{i}"), 64);
+            let s = st.create_volume(backup, format!("s{i}"), 64);
+            st.add_pair(g, p, s);
+            vols.push(p);
+        }
+        let mut world = World { st };
+        let mut sim: Sim<World> = Sim::new();
+        let max_t = writes.iter().map(|w| w.at_ns).max().unwrap_or(0);
+        for (i, w) in writes.iter().enumerate() {
+            let vol = vols[w.vol];
+            let lba = w.lba;
+            let tag = i as u64;
+            sim.schedule_at(SimTime::from_nanos(w.at_ns), move |s: &mut World, sim| {
+                host_write(s, sim, vol, lba, block_from(&tag.to_le_bytes()), |_, _, _| {});
+            });
+        }
+        let fail_at = SimTime::from_nanos((max_t as f64 * fail_frac) as u64 + 1);
+        sim.schedule_at(fail_at, move |w: &mut World, sim| {
+            w.st.fail_array(main, sim.now());
+        });
+        // Let everything settle (bounded: failed primary stops the flow).
+        sim.run_until(&mut world, fail_at + SimDuration::from_millis(200));
+        world.st.promote_group(g);
+        let rep = world.st.verify_consistency(&[g]);
+        prop_assert!(
+            rep.is_consistent(),
+            "CG backup must be prefix-consistent: {:?}",
+            rep
+        );
+    }
+
+    /// Without failures, the backup converges to an exact copy, and the
+    /// number of applied entries equals the number of acked writes.
+    #[test]
+    fn cg_drains_to_exact_copy(
+        writes in writes_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut st = StorageWorld::new(seed, EngineConfig::default());
+        let main = st.add_array("m", ArrayPerf::default());
+        let backup = st.add_array("b", ArrayPerf::default());
+        let link = st.add_link(LinkConfig::metro());
+        let rev = st.add_link(LinkConfig::metro());
+        let g = st.create_adc_group("cg", link, rev, 1 << 24);
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            let p = st.create_volume(main, format!("p{i}"), 64);
+            let s = st.create_volume(backup, format!("s{i}"), 64);
+            st.add_pair(g, p, s);
+            pairs.push((p, s));
+        }
+        let mut world = World { st };
+        let mut sim: Sim<World> = Sim::new();
+        for (i, w) in writes.iter().enumerate() {
+            let vol = pairs[w.vol].0;
+            let lba = w.lba;
+            let tag = i as u64;
+            sim.schedule_at(SimTime::from_nanos(w.at_ns), move |s: &mut World, sim| {
+                host_write(s, sim, vol, lba, block_from(&tag.to_le_bytes()), |_, _, _| {});
+            });
+        }
+        sim.run(&mut world);
+        for (p, s) in pairs {
+            let pc = world.st.array(main).volume(p.volume).content_hashes();
+            let sc = world.st.array(backup).volume(s.volume).content_hashes();
+            prop_assert_eq!(pc, sc);
+        }
+        let grp = world.st.fabric.group(g);
+        prop_assert_eq!(grp.stats.entries_applied, writes.len() as u64);
+        let rep = world.st.verify_consistency(&[g]);
+        prop_assert!(rep.is_consistent());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal model test
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum JOp {
+    Append(u8),
+    MarkSentUpTo,
+    Release(u8),
+}
+
+fn jop_strategy() -> impl Strategy<Value = JOp> {
+    prop_oneof![
+        4 => (0u8..255).prop_map(JOp::Append),
+        2 => Just(JOp::MarkSentUpTo),
+        2 => (0u8..255).prop_map(JOp::Release),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn journal_accounting_never_desyncs(ops in prop::collection::vec(jop_strategy(), 1..80)) {
+        use tsuru_storage::{Journal, JournalId, PairId};
+        let mut j = Journal::new(JournalId(0), 20 * (4096 + 64), 64);
+        let mut model_len = 0usize;
+        let mut appended = 0u64;
+        let mut released = 0u64;
+        for op in ops {
+            match op {
+                JOp::Append(x) => {
+                    let fits = j.has_space(4096);
+                    let got = j.append(PairId(0), x as u64, block_from(&[x]), x as u64);
+                    prop_assert_eq!(fits, got.is_some());
+                    if let Some(seq) = got {
+                        appended += 1;
+                        model_len += 1;
+                        prop_assert_eq!(seq, appended);
+                    }
+                }
+                JOp::MarkSentUpTo => {
+                    if appended > 0 {
+                        j.mark_sent(appended);
+                        prop_assert!(j.peek_unsent(100, u64::MAX).is_empty());
+                    }
+                }
+                JOp::Release(n) => {
+                    let upto = released + (n as u64 % 8);
+                    let upto = upto.min(appended);
+                    j.release_upto(upto);
+                    if upto > released {
+                        model_len -= (upto - released) as usize;
+                        released = upto;
+                    }
+                }
+            }
+            prop_assert_eq!(j.len(), model_len);
+            prop_assert_eq!(
+                j.used_bytes(),
+                model_len as u64 * (4096 + 64),
+                "byte accounting drifted"
+            );
+            if let Some(front) = j.peek_front() {
+                prop_assert_eq!(front.seq, released + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Disaster-recovery drill: why consistency groups matter (§I).
+//!
+//! Runs the same surprise-failure drill twice — once with all four volumes
+//! in one consistency group, once with the naive per-volume replication —
+//! and shows what recovery finds at the backup site in each case.
+//!
+//! ```text
+//! cargo run --example disaster_recovery
+//! ```
+
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::{SimDuration, SimTime};
+
+fn drill(mode: BackupMode, seed: u64) {
+    println!("=== drill: mode = {} (seed {seed}) ===", mode.label());
+    let mut cfg = RigConfig {
+        seed,
+        mode,
+        ..Default::default()
+    };
+    // Independent replication sessions drift; 2 ms of skew is modest.
+    cfg.engine.pump_jitter = SimDuration::from_millis(2);
+    // A busy shop: dense commits make the skew windows visible.
+    cfg.workload.think_time_mean = SimDuration::from_millis(1);
+    let mut rig = TwoSiteRig::new(cfg);
+
+    let fail_at = SimTime::from_millis(130);
+    rig.schedule_main_failure(fail_at);
+    tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+    rig.sim
+        .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+    println!("  committed orders at disaster: {}", rig.committed_orders());
+
+    let (consistency, rpo) = rig.failover(fail_at);
+    println!(
+        "  storage verdict: prefix-consistent = {}, lost writes = {}, rpo = {}",
+        consistency.prefix.consistent, rpo.lost_writes, rpo.rpo
+    );
+    for v in consistency.prefix.violations.iter().take(3) {
+        println!("    violation: {v}");
+    }
+
+    let outcome = rig.recover_from_backup();
+    match (&outcome.sales, &outcome.stock) {
+        (Ok((_, s)), Ok((_, t))) => {
+            println!(
+                "  sales recovered: {} redo records; stock recovered: {} redo records",
+                s.redo_records, t.redo_records
+            );
+        }
+        (s, t) => {
+            if let Err(e) = s {
+                println!("  sales recovery FAILED: {e}");
+            }
+            if let Err(e) = t {
+                println!("  stock recovery FAILED: {e}");
+            }
+        }
+    }
+    if let Some(inv) = &outcome.invariant {
+        println!(
+            "  business verdict: cross-db consistent = {} ({} orders found)",
+            inv.consistent(),
+            inv.orders_found
+        );
+        for v in inv.violations.iter().take(3) {
+            println!(
+                "    COLLAPSE: item {} sold {} units but stock only decremented {}",
+                v.item, v.sold, v.decremented
+            );
+        }
+    }
+    if let Some(orders) = &outcome.orders {
+        println!(
+            "  business RPO: {}/{} committed orders survived",
+            orders.recovered, orders.committed
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("A site disaster strikes a running e-commerce system. What does the");
+    println!("backup site hold? (Same workload, same failure instant, two designs.)\n");
+    drill(BackupMode::AdcConsistencyGroup, 3);
+    // Try a few seeds for the naive mode: collapse depends on where the
+    // failure lands relative to each volume's independent session.
+    for seed in [3, 4, 5] {
+        drill(BackupMode::AdcPerVolume, seed);
+    }
+    println!("Conclusion: the consistency group turns \"usually corrupted\" into \"always");
+    println!("recoverable with bounded, quantified data loss\" — the paper's claim C3.");
+}

@@ -1,0 +1,65 @@
+//! The paper's demonstration, end to end (§IV): two container platforms,
+//! the namespace operator, and the three demo steps — backup configuration
+//! by tagging (Figs. 3–4), snapshot development (Fig. 5), and data
+//! analytics on the snapshot volumes (Fig. 6) — followed by a disaster
+//! drill.
+//!
+//! ```text
+//! cargo run --example ecommerce_backup
+//! ```
+
+use tsuru_core::{DemoConfig, DemoSystem};
+use tsuru_sim::SimDuration;
+
+fn main() {
+    let mut demo = DemoSystem::new(DemoConfig::default());
+
+    // The console screen before anything happens (Fig. 2 layout).
+    println!("console before tagging:");
+    for line in demo.console_screen() {
+        println!("{line}");
+    }
+    println!();
+
+    // Step 1 (Figs. 3–4): tag the namespace; the operator configures ADC
+    // with a consistency group; claims appear at the backup site.
+    demo.step1_configure_backup();
+
+    // The business process runs continuously (the left-half transaction
+    // window of Fig. 2).
+    demo.run_workload_for(SimDuration::from_millis(250));
+
+    // Step 2 (Fig. 5): develop a snapshot group at the backup site.
+    let handles = demo.step2_develop_snapshot("pit-1");
+
+    // Step 3 (Fig. 6): analytics on the snapshot volumes, while the
+    // business keeps running on the main site.
+    let report = demo
+        .step3_analytics(&handles, 5)
+        .expect("snapshot group image is crash-consistent");
+    demo.run_workload_for(SimDuration::from_millis(150));
+
+    // Disaster drill: the backup must be usable.
+    let fail_at = demo.sim.now();
+    demo.fail_main_site();
+    let horizon = fail_at + SimDuration::from_millis(100);
+    demo.sim.run_until(&mut demo.world, horizon);
+    let failover = demo.failover(fail_at);
+    let business = demo.recover_business();
+
+    println!();
+    println!("console after the drill:");
+    for line in demo.console_screen() {
+        println!("{line}");
+    }
+    println!();
+    println!("full transcript:");
+    for line in &demo.transcript {
+        println!("{line}");
+    }
+
+    assert!(failover.consistency.is_consistent());
+    assert!(business.fully_consistent());
+    assert!(report.order_count > 0);
+    println!("\ndemonstration complete: slowdown-free backup, usable analytics, clean failover.");
+}

@@ -1,0 +1,74 @@
+//! Three-data-centre protection: metro SDC + WAN ADC from the same
+//! volumes (the combined topology of the paper's related work, §V).
+//!
+//! The business pays only the metro round trip per commit, the metro site
+//! never loses an acknowledged order, and the far site holds a consistent
+//! prefix for true disaster distance.
+//!
+//! ```text
+//! cargo run --example three_dc
+//! ```
+
+use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::{SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+
+fn main() {
+    let mut cfg = RigConfig {
+        seed: 404,
+        mode: BackupMode::ThreeDc,
+        ..Default::default()
+    };
+    // A genuine WAN to the far site; one millisecond to the metro site.
+    cfg.link = LinkConfig::with(SimDuration::from_millis(25), 1_000_000_000 / 8);
+    let mut rig = TwoSiteRig::new(cfg);
+    println!(
+        "topology: main ──1ms/SDC──▶ metro   and   main ──25ms/ADC-CG──▶ far ({} groups)",
+        rig.groups.len()
+    );
+
+    let fail_at = SimTime::from_millis(250);
+    rig.schedule_main_failure(fail_at);
+    tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+    rig.sim
+        .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+
+    let committed = rig.committed_orders();
+    println!(
+        "business before the disaster: {} orders, latency {}",
+        committed,
+        rig.latency_summary().display_nanos()
+    );
+
+    // Fail over the asynchronous far leg; the metro leg is already current.
+    let groups = rig.groups.clone();
+    for &g in &groups {
+        if rig.world.st.fabric.group(g).mode == tsuru_storage::GroupMode::Adc {
+            let rep_before = rig.world.st.promote_group(g);
+            let _ = rep_before;
+        }
+    }
+
+    let metro = rig.recover_from_metro();
+    let far = rig.recover_from_backup();
+    let morders = metro.orders.as_ref().expect("metro sales recovered");
+    let forders = far.orders.as_ref().expect("far sales recovered");
+    println!(
+        "metro copy: {}/{} orders, cross-db consistent = {}",
+        morders.recovered,
+        morders.committed,
+        metro.fully_consistent()
+    );
+    println!(
+        "far copy:   {}/{} orders, cross-db consistent = {}",
+        forders.recovered,
+        forders.committed,
+        far.fully_consistent()
+    );
+    assert_eq!(morders.lost, 0, "metro SDC loses nothing");
+    assert!(metro.fully_consistent() && far.fully_consistent());
+    println!(
+        "\n3DC: metro-level commit latency, zero metro loss, disaster-distance far\n\
+         copy that is always a consistent prefix — both §V alternatives at once."
+    );
+}
