@@ -5,17 +5,28 @@
 //! ```text
 //! cargo run -p tsuru-bench --release --bin repro           # everything
 //! cargo run -p tsuru-bench --release --bin repro e1 e5     # a subset
+//! cargo run -p tsuru-bench --release --bin repro e2 --threads 8
 //! ```
+//!
+//! `--threads N` sets the trial-harness worker count for the multi-trial
+//! experiments (E1, E2, E3, A1, A2); `--threads 0` (the default) uses one
+//! worker per available CPU, `--threads 1` is the serial reference. Tables
+//! are **byte-identical at any thread count** — trials are seeded purely
+//! from `(base_seed, trial_index)` and re-sorted by index. Wall-clock
+//! stats (`[harness] …`) go to stderr so stdout stays comparable.
 
 use std::env;
 use std::fs;
 use std::path::Path;
 
-use tsuru_bench::{render_a1, render_a2, render_e7, render_e1, render_e2, render_e3, render_e4, render_e5};
-use tsuru_core::experiments::{
-    a1_backup_lag, a2_journal_policy, e1_slowdown, e2_collapse, e3_rpo, e4_snapshot, e5_operator,
-    e6_demo, e7_three_dc,
+use tsuru_bench::{
+    render_a1, render_a2, render_e1, render_e2, render_e3, render_e4, render_e5, render_e7,
 };
+use tsuru_core::experiments::{
+    a1_backup_lag_with, a2_journal_policy_with, e1_slowdown_with, e2_collapse_with, e3_rpo_with,
+    e4_snapshot, e5_operator, e6_demo, e7_three_dc,
+};
+use tsuru_core::{HarnessStats, TrialHarness};
 use tsuru_sim::SimDuration;
 
 /// When `--csv` is passed, tables are also written under `repro_out/`.
@@ -30,21 +41,46 @@ fn maybe_csv(name: &str, table: &str) {
     }
 }
 
-fn run_e1() {
+/// `--threads N` / `--threads=N`; `0` (default) = available parallelism.
+fn threads_arg() -> usize {
+    let args: Vec<String> = env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Some(n) = v.parse().ok() {
+                return n;
+            }
+        }
+    }
+    0
+}
+
+/// Wall-clock stats go to stderr so stdout is identical at any `--threads`.
+fn report(label: &str, stats: &HarnessStats) {
+    eprintln!("[harness] {label}: {}", stats.display());
+}
+
+fn run_e1(harness: &TrialHarness) {
     println!("== E1: no system slowdown (claim C1) — latency/throughput vs backup mode ==");
     println!("   closed-loop order workload, 8 clients; link 1 Gbit/s; 400 ms simulated\n");
-    let rows = e1_slowdown(42, &[1, 2, 10, 25, 50], SimDuration::from_millis(400));
-    let table = render_e1(&rows);
+    let set = e1_slowdown_with(harness, 42, &[1, 2, 10, 25, 50], SimDuration::from_millis(400));
+    report("e1", &set.stats);
+    let table = render_e1(&set.rows);
     println!("{table}");
     maybe_csv("e1", &table);
     println!("expect: adc-cg ≈ none at every RTT; sdc p50 ≳ 2×RTT and tps collapses.\n");
 }
 
-fn run_e2() {
+fn run_e2(harness: &TrialHarness) {
     println!("== E2: backup collapse (claims C2/C3) — consistency group vs naive ADC ==");
     println!("   30 surprise-failure drills per mode; 2 ms replication-session skew\n");
-    let rows = e2_collapse(1000, 30, SimDuration::from_millis(2));
-    let table = render_e2(&rows);
+    let set = e2_collapse_with(harness, 1000, 30, SimDuration::from_millis(2));
+    report("e2", &set.stats);
+    let table = render_e2(&set.rows);
     println!("{table}");
     maybe_csv("e2", &table);
     println!(
@@ -53,11 +89,12 @@ fn run_e2() {
     );
 }
 
-fn run_e3() {
+fn run_e3(harness: &TrialHarness) {
     println!("== E3: recovery point vs link bandwidth and journal capacity (§III-A1) ==");
     println!("   main-site failure at t=150 ms; ADC journal Block policy; SDC reference\n");
-    let rows = e3_rpo(7, &[50, 100, 500, 1000], &[1, 64]);
-    let table = render_e3(&rows);
+    let set = e3_rpo_with(harness, 7, &[50, 100, 500, 1000], &[1, 64]);
+    report("e3", &set.stats);
+    let table = render_e3(&set.rows);
     println!("{table}");
     maybe_csv("e3", &table);
     println!(
@@ -127,11 +164,12 @@ fn run_e7() {
     );
 }
 
-fn run_a1() {
+fn run_a1(harness: &TrialHarness) {
     println!("== A1 (ablation): backup lag vs transfer-pump parameters ==");
     println!("   acked-but-unapplied backlog sampled every 5 ms over a 300 ms run\n");
-    let rows = a1_backup_lag(19, &[200, 500, 2000, 5000], &[8, 64]);
-    let table = render_a1(&rows);
+    let set = a1_backup_lag_with(harness, 19, &[200, 500, 2000, 5000], &[8, 64]);
+    report("a1", &set.stats);
+    let table = render_a1(&set.rows);
     println!("{table}");
     maybe_csv("a1", &table);
     println!(
@@ -140,11 +178,12 @@ fn run_a1() {
     );
 }
 
-fn run_a2() {
+fn run_a2(harness: &TrialHarness) {
     println!("== A2 (ablation): journal-full policy — Block vs Suspend ==");
     println!("   undersized journal over a 20 Mbit/s link; failure at t=200 ms\n");
-    let rows = a2_journal_policy(23, &[256, 1024, 16384]);
-    let table = render_a2(&rows);
+    let set = a2_journal_policy_with(harness, 23, &[256, 1024, 16384]);
+    report("a2", &set.stats);
+    let table = render_a2(&set.rows);
     println!("{table}");
     maybe_csv("a2", &table);
     println!(
@@ -161,16 +200,18 @@ fn main() {
         .collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
+    let harness = TrialHarness::new(threads_arg());
 
     println!("Tsuru experiment reproduction (see DESIGN.md §4, EXPERIMENTS.md)\n");
+    eprintln!("[harness] trial workers: {}", harness.threads());
     if want("e1") {
-        run_e1();
+        run_e1(&harness);
     }
     if want("e2") {
-        run_e2();
+        run_e2(&harness);
     }
     if want("e3") {
-        run_e3();
+        run_e3(&harness);
     }
     if want("e4") {
         run_e4();
@@ -185,9 +226,9 @@ fn main() {
         run_e7();
     }
     if want("a1") {
-        run_a1();
+        run_a1(&harness);
     }
     if want("a2") {
-        run_a2();
+        run_a2(&harness);
     }
 }

@@ -1,6 +1,13 @@
 //! The experiment runners behind every table/figure reproduction
 //! (DESIGN.md §4). Each returns structured rows; the bench crate's `repro`
 //! binary renders them and EXPERIMENTS.md records the results.
+//!
+//! Every multi-trial experiment (E1, E2, E3, A1, A2) has two entry points:
+//! the original serial signature (`e1_slowdown`, …) and a `*_with` variant
+//! taking a [`TrialHarness`] that fans the independent trials out over a
+//! thread pool. Both produce identical rows at any thread count — trials
+//! are seeded purely from `(base_seed, trial_index)` and re-sorted by
+//! index (see `harness.rs`).
 
 use serde::{Deserialize, Serialize};
 use tsuru_container::{
@@ -15,7 +22,9 @@ use tsuru_sim::{SimDuration, SimTime};
 use tsuru_simnet::LinkConfig;
 use tsuru_storage::{ArrayPerf, EngineConfig, StorageWorld};
 
+use crate::harness::{TrialHarness, TrialSet};
 use crate::rig::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_sim::DetRng;
 
 // =====================================================================
 // E1 — no system slowdown (claim C1): latency/throughput vs backup mode
@@ -38,32 +47,48 @@ pub struct E1Row {
     pub p99_ms: f64,
 }
 
-/// Sweep backup modes across inter-site distances.
+/// Sweep backup modes across inter-site distances (serial).
 pub fn e1_slowdown(seed: u64, rtts_ms: &[u64], duration: SimDuration) -> Vec<E1Row> {
-    let mut rows = Vec::new();
+    e1_slowdown_with(&TrialHarness::serial(), seed, rtts_ms, duration).rows
+}
+
+/// [`e1_slowdown`] with each (RTT, mode) cell as one harness trial.
+///
+/// Every cell uses the same workload seed so modes stay directly
+/// comparable at a given RTT, exactly as the serial sweep did.
+pub fn e1_slowdown_with(
+    harness: &TrialHarness,
+    seed: u64,
+    rtts_ms: &[u64],
+    duration: SimDuration,
+) -> TrialSet<E1Row> {
+    let mut cells = Vec::new();
     for &rtt in rtts_ms {
         for mode in [BackupMode::None, BackupMode::AdcConsistencyGroup, BackupMode::Sdc] {
-            let mut cfg = RigConfig {
-                seed,
-                mode,
-                ..Default::default()
-            };
-            let one_way = SimDuration::from_micros(rtt * 1000 / 2);
-            cfg.link = LinkConfig::with(one_way, 1_000_000_000 / 8);
-            let mut rig = TwoSiteRig::new(cfg);
-            rig.run_workload_for(duration);
-            let s = rig.latency_summary();
-            rows.push(E1Row {
-                mode: mode.label().into(),
-                rtt_ms: rtt as f64,
-                tps: rig.throughput_tps(),
-                mean_ms: s.mean / 1e6,
-                p50_ms: s.p50 as f64 / 1e6,
-                p99_ms: s.p99 as f64 / 1e6,
-            });
+            cells.push((rtt, mode));
         }
     }
-    rows
+    harness.run(seed, cells.len(), |ctx| {
+        let (rtt, mode) = cells[ctx.index];
+        let mut cfg = RigConfig {
+            seed,
+            mode,
+            ..Default::default()
+        };
+        let one_way = SimDuration::from_micros(rtt * 1000 / 2);
+        cfg.link = LinkConfig::with(one_way, 1_000_000_000 / 8);
+        let mut rig = TwoSiteRig::new(cfg);
+        rig.run_workload_for(duration);
+        let s = rig.latency_summary();
+        E1Row {
+            mode: mode.label().into(),
+            rtt_ms: rtt as f64,
+            tps: rig.throughput_tps(),
+            mean_ms: s.mean / 1e6,
+            p50_ms: s.p50 as f64 / 1e6,
+            p99_ms: s.p99 as f64 / 1e6,
+        }
+    })
 }
 
 // =====================================================================
@@ -88,56 +113,94 @@ pub struct E2Row {
     pub avg_lost_orders: f64,
 }
 
-/// Run `trials` surprise-failure drills per mode.
-pub fn e2_collapse(base_seed: u64, trials: u32, session_jitter: SimDuration) -> Vec<E2Row> {
-    let mut rows = Vec::new();
-    for mode in [BackupMode::AdcConsistencyGroup, BackupMode::AdcPerVolume] {
-        let mut storage_collapses = 0;
-        let mut business_collapses = 0;
-        let mut hard_failures = 0;
-        let mut lost_total = 0u64;
-        for t in 0..trials {
-            let mut cfg = RigConfig {
-                seed: base_seed + t as u64,
-                mode,
-                ..Default::default()
-            };
-            cfg.engine.pump_jitter = session_jitter;
-            cfg.workload.think_time_mean = SimDuration::from_millis(2);
-            let mut rig = TwoSiteRig::new(cfg);
-            // Failure somewhere in the middle of the run, varied per trial.
-            let fail_at = SimTime::from_millis(80 + (t as u64 * 13) % 80);
-            rig.schedule_main_failure(fail_at);
-            rig.world.app_mut().stop_after_orders = None;
-            tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
-            rig.sim
-                .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+/// Verdict of one surprise-failure drill (one harness trial).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E2Trial {
+    /// Backup mode label.
+    pub mode: String,
+    /// Did the backup violate write-order fidelity?
+    pub storage_collapse: bool,
+    /// Did the recovered databases violate the cross-DB invariant or
+    /// hard-fail recovery?
+    pub business_collapse: bool,
+    /// Did a database fail to recover at all?
+    pub hard_failure: bool,
+    /// Committed-but-lost orders in this drill.
+    pub lost_orders: u64,
+}
 
-            let (consistency, _) = rig.failover(fail_at);
-            if !consistency.prefix.consistent {
-                storage_collapses += 1;
-            }
-            let outcome = rig.recover_from_backup();
-            if outcome.hard_failure() {
-                hard_failures += 1;
-                business_collapses += 1;
-            } else if !outcome.fully_consistent() {
-                business_collapses += 1;
-            }
-            if let Some(orders) = &outcome.orders {
-                lost_total += orders.lost;
-            }
-        }
-        rows.push(E2Row {
-            mode: mode.label().into(),
-            trials,
-            storage_collapses,
-            business_collapses,
-            hard_recovery_failures: hard_failures,
-            avg_lost_orders: lost_total as f64 / trials as f64,
-        });
+/// Run `trials` surprise-failure drills per mode (serial).
+pub fn e2_collapse(base_seed: u64, trials: u32, session_jitter: SimDuration) -> Vec<E2Row> {
+    e2_collapse_with(&TrialHarness::serial(), base_seed, trials, session_jitter).rows
+}
+
+/// [`e2_collapse`] fanned over a harness: one trial per (mode, drill).
+///
+/// Drill `t` uses seed `DetRng::trial_seed(base_seed, t)` under *both*
+/// modes, so the comparison stays paired; aggregation runs over the
+/// index-sorted rows, making the table identical at any thread count.
+pub fn e2_collapse_with(
+    harness: &TrialHarness,
+    base_seed: u64,
+    trials: u32,
+    session_jitter: SimDuration,
+) -> TrialSet<E2Row> {
+    let modes = [BackupMode::AdcConsistencyGroup, BackupMode::AdcPerVolume];
+    let total = modes.len() * trials as usize;
+    let set = harness.run(base_seed, total, |ctx| {
+        let mode = modes[ctx.index / trials as usize];
+        let t = (ctx.index % trials as usize) as u64;
+        e2_drill(base_seed, t, mode, session_jitter)
+    });
+    set.map_rows(|per_trial| {
+        modes
+            .iter()
+            .enumerate()
+            .map(|(mi, mode)| {
+                let chunk = &per_trial[mi * trials as usize..(mi + 1) * trials as usize];
+                E2Row {
+                    mode: mode.label().into(),
+                    trials,
+                    storage_collapses: chunk.iter().filter(|r| r.storage_collapse).count() as u32,
+                    business_collapses: chunk.iter().filter(|r| r.business_collapse).count()
+                        as u32,
+                    hard_recovery_failures: chunk.iter().filter(|r| r.hard_failure).count() as u32,
+                    avg_lost_orders: chunk.iter().map(|r| r.lost_orders).sum::<u64>() as f64
+                        / trials as f64,
+                }
+            })
+            .collect()
+    })
+}
+
+/// One E2 drill: build, run to a surprise failure, fail over, recover.
+pub fn e2_drill(base_seed: u64, t: u64, mode: BackupMode, session_jitter: SimDuration) -> E2Trial {
+    let mut cfg = RigConfig {
+        seed: DetRng::trial_seed(base_seed, t),
+        mode,
+        ..Default::default()
+    };
+    cfg.engine.pump_jitter = session_jitter;
+    cfg.workload.think_time_mean = SimDuration::from_millis(2);
+    let mut rig = TwoSiteRig::new(cfg);
+    // Failure somewhere in the middle of the run, varied per trial.
+    let fail_at = SimTime::from_millis(80 + (t * 13) % 80);
+    rig.schedule_main_failure(fail_at);
+    rig.world.app_mut().stop_after_orders = None;
+    tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+    rig.sim
+        .run_until(&mut rig.world, fail_at + SimDuration::from_millis(200));
+
+    let (consistency, _) = rig.failover(fail_at);
+    let outcome = rig.recover_from_backup();
+    let hard_failure = outcome.hard_failure();
+    E2Trial {
+        mode: mode.label().into(),
+        storage_collapse: !consistency.prefix.consistent,
+        business_collapse: hard_failure || !outcome.fully_consistent(),
+        hard_failure,
+        lost_orders: outcome.orders.as_ref().map(|o| o.lost).unwrap_or(0),
     }
-    rows
 }
 
 // =====================================================================
@@ -165,11 +228,31 @@ pub struct E3Row {
     pub p99_ms: f64,
 }
 
-/// Sweep ADC over bandwidths and journal sizes; one SDC reference row.
+/// Sweep ADC over bandwidths and journal sizes; one SDC reference row
+/// (serial).
 pub fn e3_rpo(seed: u64, bandwidths_mbps: &[u64], journal_mib: &[u64]) -> Vec<E3Row> {
-    let fail_at = SimTime::from_millis(150);
-    let mut rows = Vec::new();
-    let run = |mode: BackupMode, mbps: u64, jmib: u64| -> E3Row {
+    e3_rpo_with(&TrialHarness::serial(), seed, bandwidths_mbps, journal_mib).rows
+}
+
+/// [`e3_rpo`] with each (mode, bandwidth, journal) cell as one harness
+/// trial. Every cell uses the same workload seed, as the serial sweep did.
+pub fn e3_rpo_with(
+    harness: &TrialHarness,
+    seed: u64,
+    bandwidths_mbps: &[u64],
+    journal_mib: &[u64],
+) -> TrialSet<E3Row> {
+    let mut cells: Vec<(BackupMode, u64, u64)> = Vec::new();
+    for &mbps in bandwidths_mbps {
+        for &jmib in journal_mib {
+            cells.push((BackupMode::AdcConsistencyGroup, mbps, jmib));
+        }
+    }
+    // SDC reference: zero loss by construction.
+    cells.push((BackupMode::Sdc, *bandwidths_mbps.last().unwrap_or(&1000), 0));
+    harness.run(seed, cells.len(), |ctx| {
+        let (mode, mbps, jmib) = cells[ctx.index];
+        let fail_at = SimTime::from_millis(150);
         let mut cfg = RigConfig {
             seed,
             mode,
@@ -198,15 +281,7 @@ pub fn e3_rpo(seed: u64, bandwidths_mbps: &[u64], journal_mib: &[u64]) -> Vec<E3
             journal_stalls: rig.world.st.stats.journal_stall_retries,
             p99_ms: s.p99 as f64 / 1e6,
         }
-    };
-    for &mbps in bandwidths_mbps {
-        for &jmib in journal_mib {
-            rows.push(run(BackupMode::AdcConsistencyGroup, mbps, jmib));
-        }
-    }
-    // SDC reference: zero loss by construction.
-    rows.push(run(BackupMode::Sdc, *bandwidths_mbps.last().unwrap_or(&1000), 0));
-    rows
+    })
 }
 
 // =====================================================================
@@ -503,80 +578,93 @@ pub fn a1_backup_lag(
     pump_intervals_us: &[u64],
     batches: &[usize],
 ) -> Vec<A1Row> {
+    a1_backup_lag_with(&TrialHarness::serial(), seed, pump_intervals_us, batches).rows
+}
+
+/// [`a1_backup_lag`] with each (interval, batch) cell as one harness trial.
+pub fn a1_backup_lag_with(
+    harness: &TrialHarness,
+    seed: u64,
+    pump_intervals_us: &[u64],
+    batches: &[usize],
+) -> TrialSet<A1Row> {
     use std::cell::RefCell;
     use std::rc::Rc;
-    let mut rows = Vec::new();
+    let mut cells: Vec<(u64, usize)> = Vec::new();
     for &interval in pump_intervals_us {
         for &batch in batches {
-            let mut cfg = RigConfig {
-                seed,
-                mode: BackupMode::AdcConsistencyGroup,
-                ..Default::default()
-            };
-            cfg.engine.pump_interval = SimDuration::from_micros(interval);
-            cfg.engine.pump_jitter = SimDuration::from_micros(interval / 2);
-            cfg.engine.batch_max_entries = batch;
-            cfg.workload.think_time_mean = SimDuration::from_millis(2);
-            let mut rig = TwoSiteRig::new(cfg);
-            let groups = rig.groups.clone();
-
-            let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-            // Recurring sampler: every 5 ms record the group backlog.
-            fn sample(
-                w: &mut crate::world::DemoWorld,
-                sim: &mut tsuru_sim::Sim<crate::world::DemoWorld>,
-                groups: Vec<tsuru_storage::GroupId>,
-                out: Rc<std::cell::RefCell<Vec<u64>>>,
-                remaining: u32,
-            ) {
-                let lag: u64 = groups
-                    .iter()
-                    .flat_map(|&g| w.st.fabric.group(g).pairs.clone())
-                    .map(|pid| {
-                        let p = w.st.fabric.pair(pid);
-                        p.acked_writes - p.applied_writes
-                    })
-                    .sum();
-                out.borrow_mut().push(lag);
-                if remaining > 0 {
-                    let groups = groups.clone();
-                    let out = Rc::clone(&out);
-                    sim.schedule_in(SimDuration::from_millis(5), move |w, sim| {
-                        sample(w, sim, groups, out, remaining - 1)
-                    });
-                }
-            }
-            {
-                let groups = groups.clone();
-                let out = Rc::clone(&samples);
-                rig.sim
-                    .schedule_at(SimTime::from_millis(20), move |w, sim| {
-                        sample(w, sim, groups, out, 56)
-                    });
-            }
-            rig.run_workload_for(SimDuration::from_millis(300));
-
-            let samples = samples.borrow();
-            let mean = if samples.is_empty() {
-                0.0
-            } else {
-                samples.iter().sum::<u64>() as f64 / samples.len() as f64
-            };
-            let frames: u64 = groups
-                .iter()
-                .map(|&g| rig.world.st.fabric.group(g).stats.frames_sent)
-                .sum();
-            rows.push(A1Row {
-                pump_interval_us: interval,
-                batch_max_entries: batch,
-                mean_lag_writes: mean,
-                max_lag_writes: samples.iter().copied().max().unwrap_or(0),
-                frames_sent: frames,
-                p99_ms: rig.latency_summary().p99 as f64 / 1e6,
-            });
+            cells.push((interval, batch));
         }
     }
-    rows
+    harness.run(seed, cells.len(), |ctx| {
+        let (interval, batch) = cells[ctx.index];
+        let mut cfg = RigConfig {
+            seed,
+            mode: BackupMode::AdcConsistencyGroup,
+            ..Default::default()
+        };
+        cfg.engine.pump_interval = SimDuration::from_micros(interval);
+        cfg.engine.pump_jitter = SimDuration::from_micros(interval / 2);
+        cfg.engine.batch_max_entries = batch;
+        cfg.workload.think_time_mean = SimDuration::from_millis(2);
+        let mut rig = TwoSiteRig::new(cfg);
+        let groups = rig.groups.clone();
+
+        let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        // Recurring sampler: every 5 ms record the group backlog.
+        fn sample(
+            w: &mut crate::world::DemoWorld,
+            sim: &mut tsuru_sim::Sim<crate::world::DemoWorld>,
+            groups: Vec<tsuru_storage::GroupId>,
+            out: Rc<std::cell::RefCell<Vec<u64>>>,
+            remaining: u32,
+        ) {
+            let lag: u64 = groups
+                .iter()
+                .flat_map(|&g| w.st.fabric.group(g).pairs.clone())
+                .map(|pid| {
+                    let p = w.st.fabric.pair(pid);
+                    p.acked_writes - p.applied_writes
+                })
+                .sum();
+            out.borrow_mut().push(lag);
+            if remaining > 0 {
+                let groups = groups.clone();
+                let out = Rc::clone(&out);
+                sim.schedule_in(SimDuration::from_millis(5), move |w, sim| {
+                    sample(w, sim, groups, out, remaining - 1)
+                });
+            }
+        }
+        {
+            let groups = groups.clone();
+            let out = Rc::clone(&samples);
+            rig.sim
+                .schedule_at(SimTime::from_millis(20), move |w, sim| {
+                    sample(w, sim, groups, out, 56)
+                });
+        }
+        rig.run_workload_for(SimDuration::from_millis(300));
+
+        let samples = samples.borrow();
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
+        let frames: u64 = groups
+            .iter()
+            .map(|&g| rig.world.st.fabric.group(g).stats.frames_sent)
+            .sum();
+        A1Row {
+            pump_interval_us: interval,
+            batch_max_entries: batch,
+            mean_lag_writes: mean,
+            max_lag_writes: samples.iter().copied().max().unwrap_or(0),
+            frames_sent: frames,
+            p99_ms: rig.latency_summary().p99 as f64 / 1e6,
+        }
+    })
 }
 
 // =====================================================================
@@ -606,44 +694,57 @@ pub struct A2Row {
 /// over a slow link: Block trades primary latency for a bounded recovery
 /// point; Suspend keeps the primary fast but abandons the backup.
 pub fn a2_journal_policy(seed: u64, journal_kib: &[u64]) -> Vec<A2Row> {
+    a2_journal_policy_with(&TrialHarness::serial(), seed, journal_kib).rows
+}
+
+/// [`a2_journal_policy`] with each (capacity, policy) cell as one harness
+/// trial.
+pub fn a2_journal_policy_with(
+    harness: &TrialHarness,
+    seed: u64,
+    journal_kib: &[u64],
+) -> TrialSet<A2Row> {
     use tsuru_storage::JournalFullPolicy;
-    let mut rows = Vec::new();
+    let mut cells: Vec<(u64, &str, JournalFullPolicy)> = Vec::new();
     for &kib in journal_kib {
         for (label, policy) in [
             ("block", JournalFullPolicy::Block),
             ("suspend", JournalFullPolicy::Suspend),
         ] {
-            let mut cfg = RigConfig {
-                seed,
-                mode: BackupMode::AdcConsistencyGroup,
-                journal_capacity: kib << 10,
-                ..Default::default()
-            };
-            cfg.engine.journal_full_policy = policy;
-            // 20 Mbit/s: slow enough that the journal matters.
-            cfg.link = LinkConfig::with(SimDuration::from_millis(5), 20_000_000 / 8);
-            cfg.workload.think_time_mean = SimDuration::from_millis(2);
-            let mut rig = TwoSiteRig::new(cfg);
-            let fail_at = SimTime::from_millis(200);
-            rig.schedule_main_failure(fail_at);
-            tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
-            rig.sim
-                .run_until(&mut rig.world, fail_at + SimDuration::from_millis(300));
-            let committed = rig.committed_orders();
-            rig.failover(fail_at);
-            let outcome = rig.recover_from_backup();
-            rows.push(A2Row {
-                policy: label.into(),
-                journal_kib: kib,
-                committed,
-                p99_ms: rig.latency_summary().p99 as f64 / 1e6,
-                stalls: rig.world.st.stats.journal_stall_retries,
-                degraded_acks: rig.world.app().metrics.degraded_acks,
-                lost_orders: outcome.orders.map(|o| o.lost).unwrap_or(committed),
-            });
+            cells.push((kib, label, policy));
         }
     }
-    rows
+    harness.run(seed, cells.len(), |ctx| {
+        let (kib, label, policy) = cells[ctx.index];
+        let mut cfg = RigConfig {
+            seed,
+            mode: BackupMode::AdcConsistencyGroup,
+            journal_capacity: kib << 10,
+            ..Default::default()
+        };
+        cfg.engine.journal_full_policy = policy;
+        // 20 Mbit/s: slow enough that the journal matters.
+        cfg.link = LinkConfig::with(SimDuration::from_millis(5), 20_000_000 / 8);
+        cfg.workload.think_time_mean = SimDuration::from_millis(2);
+        let mut rig = TwoSiteRig::new(cfg);
+        let fail_at = SimTime::from_millis(200);
+        rig.schedule_main_failure(fail_at);
+        tsuru_ecom::driver::start_clients(&mut rig.world, &mut rig.sim);
+        rig.sim
+            .run_until(&mut rig.world, fail_at + SimDuration::from_millis(300));
+        let committed = rig.committed_orders();
+        rig.failover(fail_at);
+        let outcome = rig.recover_from_backup();
+        A2Row {
+            policy: label.into(),
+            journal_kib: kib,
+            committed,
+            p99_ms: rig.latency_summary().p99 as f64 / 1e6,
+            stalls: rig.world.st.stats.journal_stall_retries,
+            degraded_acks: rig.world.app().metrics.degraded_acks,
+            lost_orders: outcome.orders.map(|o| o.lost).unwrap_or(committed),
+        }
+    })
 }
 
 // =====================================================================

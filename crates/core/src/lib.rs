@@ -14,11 +14,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod harness;
 mod report;
 mod rig;
 mod system;
 mod world;
 
+pub use harness::{HarnessStats, TrialCtx, TrialHarness, TrialSet};
 pub use report::{f2, f3, render_table};
 pub use rig::{BackupMode, RecoveryOutcome, RigConfig, TwoSiteRig, VOLUME_NAMES};
 pub use system::{

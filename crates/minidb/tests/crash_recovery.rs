@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use tsuru_minidb::{DbConfig, DbVol, IoPlan, MiniDb, TableId};
-use tsuru_storage::{BlockDeviceMut, MemDevice};
+use tsuru_storage::{BlockDevice, BlockDeviceMut, MemDevice};
 
 const T: TableId = TableId(7);
 
@@ -132,6 +132,88 @@ proptest! {
         let got: BTreeMap<u64, Vec<u8>> = rec.scan_table(T).into_iter().collect();
         prop_assert_eq!(got, expect, "state mismatch at prefix {}", m);
         // Report sanity.
+        prop_assert_eq!(report.wal_end, rec.last_lsn());
+    }
+
+    /// A crash can leave the *last* WAL block half-written — the classic
+    /// torn tail. Model it as prefix-of-new-bytes + suffix-of-old-bytes:
+    /// the drive wrote the first `cut` bytes of the new block image and
+    /// lost power. Recovery must still succeed, keep every transaction
+    /// that was fully durable before the torn write, and land on a clean
+    /// committed prefix.
+    #[test]
+    fn recovery_survives_a_torn_wal_tail(
+        txns in prop::collection::vec(txn_strategy(), 2..40),
+        tear_at in any::<prop::sample::Index>(),
+        cut_at in any::<prop::sample::Index>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let cfg = DbConfig { data_blocks: 4096, wal_blocks: 16, checkpoint_threshold: 0.7 };
+        let (mut db, create_plan) = MiniDb::create("torn", cfg.clone());
+        let mut wal = MemDevice::new(cfg.wal_blocks);
+        let mut data = MemDevice::new(cfg.data_blocks);
+        for phase in &create_plan.phases {
+            for io in phase {
+                apply(io, &mut wal, &mut data);
+            }
+        }
+
+        let mut rng = tsuru_sim::DetRng::new(shuffle_seed);
+        let mut stream = Vec::new();
+        let mut commit_end = Vec::new();
+        for txn in &txns {
+            let tx = db.begin();
+            for op in txn {
+                match op {
+                    Op::Put(k, v) => db.put(tx, T, *k, v),
+                    Op::Delete(k) => db.delete(tx, T, *k),
+                }
+            }
+            let plan = db.commit(tx);
+            stream.extend(flatten(&plan, &mut rng));
+            commit_end.push(stream.len());
+        }
+
+        // Pick a WAL write to tear.
+        let wal_ios: Vec<usize> = stream
+            .iter()
+            .enumerate()
+            .filter(|(_, io)| matches!(io.vol, DbVol::Wal))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!wal_ios.is_empty());
+        let t = wal_ios[tear_at.index(wal_ios.len())];
+
+        // Everything before the torn write lands intact…
+        for io in &stream[..t] {
+            apply(io, &mut wal, &mut data);
+        }
+        // …then the torn write: only the first `cut` bytes of the new
+        // block image reach the medium, the rest keeps its old content.
+        let io = &stream[t];
+        let cut = 1 + cut_at.index(io.data.len().saturating_sub(1).max(1));
+        let mut torn = wal
+            .read_block(io.lba)
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; io.data.len()]);
+        torn.resize(io.data.len(), 0);
+        torn[..cut].copy_from_slice(&io.data[..cut]);
+        wal.write_block(io.lba, &torn);
+
+        let (rec, report) = MiniDb::recover("torn-rec", &wal, &data, cfg)
+            .expect("recovery must survive a torn WAL tail");
+
+        let m = rec.last_lsn() as usize;
+        prop_assert!(m <= txns.len(), "recovered more txns than committed");
+        // Every transaction fully durable *before* the torn write survives.
+        let fully_acked = commit_end.iter().filter(|&&e| e <= t).count();
+        prop_assert!(
+            m >= fully_acked,
+            "torn tail lost durable transactions: recovered {m}, durable {fully_acked}"
+        );
+        let expect = model_after(&txns, m);
+        let got: BTreeMap<u64, Vec<u8>> = rec.scan_table(T).into_iter().collect();
+        prop_assert_eq!(got, expect, "state mismatch at prefix {}", m);
         prop_assert_eq!(report.wal_end, rec.last_lsn());
     }
 

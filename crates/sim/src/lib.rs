@@ -39,7 +39,7 @@ mod rng;
 mod time;
 
 pub use kernel::{EventFn, Sim};
-pub use metrics::{Counter, Histogram, Summary, TimeSeries};
+pub use metrics::{Counter, Histogram, Summary, ThroughputReport, TimeSeries};
 pub use queue::{RatePipe, ServiceStation};
 pub use rng::{DetRng, Zipf};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

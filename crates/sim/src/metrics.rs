@@ -199,6 +199,65 @@ impl Summary {
     }
 }
 
+/// Aggregate wall-clock throughput over a batch of independent trials —
+/// what the parallel trial harness reports: how long the batch took, how
+/// many trials per second that is, and the per-trial latency distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Trials executed.
+    pub trials: u64,
+    /// Wall-clock time for the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-trial wall-clock summary (nanoseconds per trial).
+    pub per_trial: Summary,
+}
+
+impl ThroughputReport {
+    /// Build from the batch wall-clock and each trial's wall-clock.
+    pub fn from_trials(wall_ns: u64, per_trial_ns: &[u64]) -> Self {
+        let mut h = Histogram::new();
+        for &ns in per_trial_ns {
+            h.record(ns);
+        }
+        ThroughputReport {
+            trials: per_trial_ns.len() as u64,
+            wall_ns,
+            per_trial: h.summary(),
+        }
+    }
+
+    /// Completed trials per wall-clock second.
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.trials as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Wall-clock speedup of this batch relative to `baseline` (typically
+    /// the 1-thread run of the same trials). > 1 means faster.
+    pub fn speedup_vs(&self, baseline: &ThroughputReport) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            baseline.wall_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn display(&self) -> String {
+        format!(
+            "trials={} wall={:.3}s trials/sec={:.1} per-trial mean={:.3}ms p99={:.3}ms",
+            self.trials,
+            self.wall_ns as f64 / 1e9,
+            self.trials_per_sec(),
+            self.per_trial.mean / 1e6,
+            self.per_trial.p99 as f64 / 1e6,
+        )
+    }
+}
+
 /// A monotonically increasing named counter.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Counter {

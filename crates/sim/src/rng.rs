@@ -38,6 +38,20 @@ impl DetRng {
         DetRng { s }
     }
 
+    /// Derive the master seed of an independent trial, identified by
+    /// `(base_seed, trial_index)`.
+    ///
+    /// This is the seed-splitting contract of the parallel trial harness:
+    /// the seed of trial `i` depends only on the base seed and `i`, never
+    /// on which thread runs the trial or in which order trials complete,
+    /// so a fan-out over any number of threads reproduces the serial run
+    /// bit for bit. Internally this is [`DetRng::derive`] keyed by the
+    /// trial index, so trial streams inherit the same independence
+    /// guarantees as any other derived stream.
+    pub fn trial_seed(base_seed: u64, trial_index: u64) -> u64 {
+        DetRng::new(base_seed).derive(trial_index).next()
+    }
+
     /// Derive an independent child stream identified by `stream`.
     ///
     /// Children with different stream ids (or from different parents) are

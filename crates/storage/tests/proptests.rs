@@ -74,6 +74,64 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every true prefix cut of the ack order is accepted, and a cut
+    /// derived from a randomly *reordered* copy of the same write
+    /// sequence is rejected whenever it is not also a prefix of the
+    /// original order (checked against the brute-force reference).
+    #[test]
+    fn prefix_cuts_accepted_reordered_cuts_rejected(
+        order in prop::collection::vec(0usize..4, 2..60),
+        cut_at in any::<prop::sample::Index>(),
+        take_at in any::<prop::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let volref = |v: usize| VolRef::new(
+            tsuru_storage::ArrayId(0),
+            tsuru_storage::VolumeId(v as u64),
+        );
+        let mut log = AckLog::new();
+        for (i, &v) in order.iter().enumerate() {
+            log.append(volref(v), i as u64, i as u64, SimTime::from_nanos(i as u64));
+        }
+        let counts_of = |prefix: &[usize]| -> (HashMap<VolRef, u64>, HashMap<usize, u64>) {
+            let mut counts = HashMap::new();
+            let mut ref_counts = HashMap::new();
+            for v in 0..4usize {
+                let k = prefix.iter().filter(|&&x| x == v).count() as u64;
+                counts.insert(volref(v), k);
+                ref_counts.insert(v, k);
+            }
+            (counts, ref_counts)
+        };
+
+        // Any prefix of the true ack order must be accepted.
+        let k = cut_at.index(order.len() + 1);
+        let (prefix_cut, _) = counts_of(&order[..k]);
+        prop_assert!(
+            log.check_prefix(&prefix_cut).consistent,
+            "true prefix of length {} rejected", k
+        );
+
+        // A cut taken from a shuffled replay of the same writes models a
+        // backup that applied writes out of order. Unless the shuffled
+        // prefix happens to also be a prefix of the real order (the
+        // reference decides), the checker must reject it.
+        let mut shuffled = order.clone();
+        tsuru_sim::DetRng::new(seed).shuffle(&mut shuffled);
+        let m = 1 + take_at.index(order.len());
+        let (reordered_cut, ref_counts) = counts_of(&shuffled[..m]);
+        let is_genuine_prefix = prefix_reference(&order, &ref_counts);
+        prop_assert_eq!(
+            log.check_prefix(&reordered_cut).consistent,
+            is_genuine_prefix,
+            "order={:?} shuffled-cut={:?}", order, ref_counts
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // The engine property: CG backups are always prefix-consistent cuts
 // ---------------------------------------------------------------------
@@ -149,6 +207,14 @@ proptest! {
         // Let everything settle (bounded: failed primary stops the flow).
         sim.run_until(&mut world, fail_at + SimDuration::from_millis(200));
         world.st.promote_group(g);
+        // The checker must accept the backup image's cut vector directly…
+        let cut = world.st.applied_counts(&[g]);
+        prop_assert!(
+            world.st.ack_log.check_prefix(&cut).consistent,
+            "checker rejected a CG-ADC backup image: {:?}",
+            cut
+        );
+        // …and the full report (cut + byte content) must also pass.
         let rep = world.st.verify_consistency(&[g]);
         prop_assert!(
             rep.is_consistent(),

@@ -1,8 +1,10 @@
 //! Workspace-wide determinism: identical seeds produce bit-identical runs
 //! across every layer, and different seeds genuinely differ.
 
-use tsuru_core::experiments::{e1_slowdown, e5_operator, e6_demo};
-use tsuru_core::{BackupMode, RigConfig, TwoSiteRig};
+use tsuru_core::experiments::{
+    e1_slowdown, e2_collapse_with, e3_rpo_with, e5_operator, e6_demo,
+};
+use tsuru_core::{BackupMode, RigConfig, TrialHarness, TwoSiteRig};
 use tsuru_sim::{SimDuration, SimTime};
 
 fn fingerprint(seed: u64, mode: BackupMode) -> (u64, u64, Vec<(u64, SimTime)>) {
@@ -61,6 +63,34 @@ fn experiment_tables_are_reproducible() {
     let eb = e5_operator(&[10]);
     assert_eq!(ea[0].api_mutations, eb[0].api_mutations);
     assert_eq!(ea[0].rounds, eb[0].rounds);
+}
+
+/// The tentpole guarantee: the E2 table out of the trial harness is
+/// **byte-identical** at every thread count. Debug-formatting the rows
+/// compares every field bit-for-bit (floats included, since identical
+/// bits render identically).
+#[test]
+fn e2_rows_byte_identical_across_thread_counts() {
+    let jitter = SimDuration::from_millis(2);
+    let serial = e2_collapse_with(&TrialHarness::new(1), 1000, 6, jitter);
+    let reference = format!("{:?}", serial.rows);
+    for threads in [2usize, 8] {
+        let par = e2_collapse_with(&TrialHarness::new(threads), 1000, 6, jitter);
+        assert_eq!(par.stats.threads, threads);
+        assert_eq!(
+            format!("{:?}", par.rows),
+            reference,
+            "E2 rows diverged at {threads} threads"
+        );
+    }
+}
+
+/// Same guarantee for a grid-shaped experiment (cells, not drills).
+#[test]
+fn e3_rows_byte_identical_across_thread_counts() {
+    let serial = e3_rpo_with(&TrialHarness::new(1), 7, &[100, 500], &[1, 64]);
+    let par = e3_rpo_with(&TrialHarness::new(8), 7, &[100, 500], &[1, 64]);
+    assert_eq!(format!("{:?}", serial.rows), format!("{:?}", par.rows));
 }
 
 #[test]

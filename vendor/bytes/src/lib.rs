@@ -1,0 +1,145 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! Provides the subset the workspace uses: [`Bytes`], a cheaply cloneable,
+//! immutable, reference-counted byte buffer. The registry is not reachable
+//! in the build environment, so this local implementation keeps the public
+//! API surface (constructors, `Deref<Target = [u8]>`, cheap `Clone`)
+//! source-compatible with the real crate.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. `Clone` is O(1).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Build a buffer from a static slice (copied; the real crate borrows,
+    /// but no caller relies on zero-copy here).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A sub-range copied into a new buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.data[range])
+    }
+
+    /// Copy out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = b.clone();
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(Bytes::from(vec![1, 2, 3]).to_vec(), vec![1, 2, 3]);
+        assert_eq!(Bytes::from_static(b"xy").slice(1..2), Bytes::from(&b"y"[..]));
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal vendored benchmark harness, source-compatible with the subset
+//! of `criterion` the workspace's benches use.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides [`Criterion`], benchmark groups, [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros. Each sample times one
+//! invocation of the `b.iter` closure; min/mean/max wall-clock per sample
+//! are printed. No statistical analysis, plots or baselines — enough to
+//! measure and compare the serial and parallel experiment paths.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one invocation of `routine` and record it as a sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_samples(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    // One warm-up invocation, not recorded.
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<48} time: [min {} / mean {} / max {}]  ({n} samples)",
+        fmt_dur(min),
+        fmt_dur(total / n as u32),
+        fmt_dur(max),
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of recorded samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_samples(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a routine parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_samples(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_samples(name, 20, f);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}

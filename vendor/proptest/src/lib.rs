@@ -1,0 +1,728 @@
+//! Minimal vendored property-testing library, source-compatible with the
+//! subset of `proptest` the workspace uses.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! reimplements the pieces the test suites rely on: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range/tuple/`Just` strategies,
+//! collection and option combinators, `sample::Index`, weighted
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*` macros. Generation
+//! is seeded and fully deterministic (no shrinking — failing inputs are
+//! printed in full instead).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Deterministic generator RNG (splitmix64)
+// ---------------------------------------------------------------------
+
+/// The RNG driving value generation. Deterministic per (test, case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and core combinators
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<Value = V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+/// Weighted union of strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Build from weighted boxed arms (weights must sum > 0).
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range and primitive strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Include the endpoint occasionally (1/1024) so `..=1.0` can hit 1.0.
+        if rng.below(1024) == 0 {
+            *self.end()
+        } else {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy for the whole domain of `T`.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop:: namespace — collections, option, sample
+// ---------------------------------------------------------------------
+
+/// Mirror of the `proptest::prop` module namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Size bounds accepted by collection strategies.
+        pub trait SizeRange {
+            /// (min, max) sizes, both inclusive.
+            fn bounds(&self) -> (usize, usize);
+        }
+        impl SizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SizeRange for RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+        impl SizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length in `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `Vec` of values from `elem`, sized within `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { elem, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap` with size in bounds.
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            min: usize,
+            max: usize,
+        }
+
+        /// `BTreeMap` of generated keys/values, sized within `size`.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl SizeRange,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            let (min, max) = size.bounds();
+            BTreeMapStrategy {
+                key,
+                value,
+                min,
+                max,
+            }
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+                let mut out = BTreeMap::new();
+                // Duplicate keys shrink the map; retry a bounded number of
+                // times to reach the target (collisions are vanishingly
+                // rare for 64-bit key domains).
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 10 + 16 {
+                    out.insert(self.key.new_value(rng), self.value.new_value(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+
+        /// Strategy for `BTreeSet` with size in bounds.
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `BTreeSet` of generated values, sized within `size`.
+        pub fn btree_set<S: Strategy>(elem: S, size: impl SizeRange) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            let (min, max) = size.bounds();
+            BTreeSetStrategy { elem, min, max }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 10 + 16 {
+                    out.insert(self.elem.new_value(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::*;
+
+        /// Strategy yielding `None` about a quarter of the time.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Option` of values from `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.new_value(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::*;
+
+        /// An index into a collection of as-yet-unknown size.
+        #[derive(Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolve against a concrete length (> 0).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl fmt::Debug for Index {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "Index({})", self.0)
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config and runner plumbing used by the proptest! macro
+// ---------------------------------------------------------------------
+
+/// Per-block configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case: `Err` carries the assertion message,
+/// `Ok(false)` means the case was rejected by `prop_assume!`.
+pub type CaseResult = Result<(), String>;
+
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cfg: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> CaseResult,
+) {
+    for i in 0..cfg.cases {
+        // Deterministic per (test, case): derived from the test name so
+        // sibling tests see different streams.
+        let mut seed = 0x7C0_FFEE_u64;
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        let mut rng = TestRng::new(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest '{test_name}' failed at case {i}/{}:\n{msg}", cfg.cases);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(stringify!($name), &cfg, |rng| {
+                use $crate::Strategy as _;
+                $(let $arg = ($strat).new_value(rng);)+
+                let inputs = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}\n")),+),
+                    $(&$arg),+
+                );
+                let mut run = || -> $crate::CaseResult { $body Ok(()) };
+                run().map_err(|msg| format!("{msg}\ninputs:\n{inputs}"))
+            });
+        }
+    )*};
+}
+
+/// Assert inside a proptest body; on failure the case inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)*),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Skip the case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        use $crate::Strategy as _;
+        $crate::Union::new_weighted(vec![$(($weight, ($strat).boxed())),+])
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        use $crate::Strategy as _;
+        $crate::Union::new_weighted(vec![$((1u32, ($strat).boxed())),+])
+    }};
+}
+
+/// Mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f), "f={f}");
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0usize..4, any::<u8>()).prop_map(|(a, b)| a + b as usize), 1..20),
+            o in prop::option::of(Just(9u8)),
+            pick in prop_oneof![3 => Just(1u8), 1 => Just(2u8)],
+            idx in any::<prop::sample::Index>(),
+            m in prop::collection::btree_map(any::<u64>(), any::<u8>(), 0..6),
+            s in prop::collection::btree_set(any::<u64>(), 2..5),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(o.is_none() || o == Some(9));
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(idx.index(v.len()) < v.len());
+            prop_assert!(m.len() < 6);
+            prop_assert!((2..5).contains(&s.len()));
+        }
+
+        #[test]
+        fn flat_map_sees_inner_value(pair in (1usize..8).prop_flat_map(|n| {
+            prop::collection::vec(any::<u8>(), n..=n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u64..1000, 5..10);
+        let a: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.new_value(&mut crate::TestRng::new(i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.new_value(&mut crate::TestRng::new(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! The workspace only uses the [`RngCore`] trait (implemented by
+//! `tsuru_sim::DetRng` so external generator adapters can plug in); the
+//! registry is unreachable in the build environment, so this local crate
+//! provides that trait with the real signatures.
+
+use std::fmt;
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, per rand 0.8's `RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random bytes, fallibly.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

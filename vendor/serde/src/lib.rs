@@ -1,0 +1,29 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! Nothing in the workspace actually serializes (there is no serde_json or
+//! bincode); the derives on experiment-row and config types only declare
+//! intent. The registry is unreachable in the build environment, so this
+//! crate supplies marker traits satisfied by every type (blanket impls) and
+//! no-op derive macros, keeping `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bounds source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`. Blanket-implemented for all
+/// types so derives and bounds cost nothing.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`. Blanket-implemented
+/// for all sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

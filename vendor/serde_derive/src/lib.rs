@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The companion `serde` crate blanket-implements both traits for every
+//! type, so the derives have nothing to emit — they exist only so that
+//! `#[derive(Serialize, Deserialize)]` attributes parse.
+
+use proc_macro::TokenStream;
+
+/// No-op: `serde::Serialize` is blanket-implemented for all types.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op: `serde::Deserialize` is blanket-implemented for all types.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
