@@ -7,6 +7,7 @@
 //! across the sales and stock volumes, the analytics see one crash-
 //! consistent instant of the whole business process.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::HashMap;

@@ -15,6 +15,8 @@
 //! from `(base_seed, trial_index)` and re-sorted by index. Wall-clock
 //! stats (`[harness] …`) go to stderr so stdout stays comparable.
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::path::Path;

@@ -10,6 +10,7 @@
 //!   cost of the simulator itself on scaled-down versions of the same
 //!   scenarios, so regressions in the substrate are caught.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tsuru_core::experiments::{E1Row, E2Row, E3Row, E4Row, E5Row};

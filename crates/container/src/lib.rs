@@ -12,6 +12,7 @@
 //! paper's Storage/Replication Plug-in for Containers and operator-sdk
 //! operator are controllers over OpenShift.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod api;

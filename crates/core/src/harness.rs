@@ -121,6 +121,7 @@ impl TrialHarness {
         R: Send,
         F: Fn(TrialCtx) -> R + Sync,
     {
+        // detlint: allow(wall_clock) — batch wall-clock feeds ThroughputReport, never trial results
         let batch_start = Instant::now();
         let mut indexed: Vec<(usize, u64, R)> = if self.threads <= 1 || trials <= 1 {
             // The serial path is the reference: a plain in-order loop.
@@ -130,6 +131,7 @@ impl TrialHarness {
                         index,
                         seed: DetRng::trial_seed(base_seed, index as u64),
                     };
+                    // detlint: allow(wall_clock) — per-trial latency metric, reporting-only
                     let t0 = Instant::now();
                     let row = run_trial(ctx);
                     (index, t0.elapsed().as_nanos() as u64, row)
@@ -153,6 +155,7 @@ impl TrialHarness {
                                     index,
                                     seed: DetRng::trial_seed(base_seed, index as u64),
                                 };
+                                // detlint: allow(wall_clock) — per-trial latency metric, reporting-only
                                 let t0 = Instant::now();
                                 let row = run_trial(ctx);
                                 local.push((index, t0.elapsed().as_nanos() as u64, row));

@@ -11,6 +11,7 @@
 //! - [`experiments`] — the runners behind every reproduced figure/claim
 //!   (see DESIGN.md §4 and EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

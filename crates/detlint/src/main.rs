@@ -1,0 +1,134 @@
+//! `detlint` CLI: lint the workspace, print `file:line: rule — message`
+//! diagnostics, exit nonzero when any unwaived finding remains.
+//!
+//! ```text
+//! cargo run -p detlint                 # human-readable, exit 1 on findings
+//! cargo run -p detlint -- --fix-list   # JSON report on stdout
+//! cargo run -p detlint -- --root DIR   # lint a different workspace root
+//! cargo run -p detlint -- --config F   # explicit config file
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{check_workspace, parse_config, render_json, Config};
+
+struct Args {
+    fix_list: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fix_list: false,
+        root: None,
+        config: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fix-list" => args.fix_list = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                ))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next().ok_or("--config requires a file argument")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism & safety lint\n\n\
+                     USAGE: detlint [--fix-list] [--root DIR] [--config FILE]\n\n\
+                     --fix-list   emit a machine-readable JSON report on stdout\n\
+                     --root DIR   workspace root to lint (default: auto-discover)\n\
+                     --config F   config file (default: <root>/detlint.toml)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Find the workspace root: walk up from the current directory looking for
+/// `detlint.toml`, falling back to the source checkout this binary was
+/// built from (`CARGO_MANIFEST_DIR/../..`).
+fn discover_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("detlint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = args.root.unwrap_or_else(discover_root);
+    if !root.is_dir() {
+        return Err(format!("workspace root `{}` is not a directory", root.display()));
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("detlint.toml"));
+    let config = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading `{}`: {e}", config_path.display()))?;
+        parse_config(&text).map_err(|e| format!("`{}`: {e}", config_path.display()))?
+    } else if args.config.is_some() {
+        return Err(format!("config file `{}` not found", config_path.display()));
+    } else {
+        Config::default_repo()
+    };
+
+    let findings =
+        check_workspace(&root, &config).map_err(|e| format!("walking `{}`: {e}", root.display()))?;
+
+    if args.fix_list {
+        print!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("detlint: clean");
+        } else {
+            eprintln!(
+                "detlint: {} finding{} — fix, waive with \
+                 `// detlint: allow(rule) — reason`, or allowlist in detlint.toml",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("detlint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: randomness flows from a seeded DetRng.
+pub fn roll(seed: u64) -> u64 {
+    // thread_rng is banned; this comment saying so is not a finding
+    let mut rng = tsuru_sim::DetRng::new(seed);
+    rng.next()
+}

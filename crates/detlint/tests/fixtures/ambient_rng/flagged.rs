@@ -1,0 +1,11 @@
+//! Fixture: ambient randomness.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn seeded_from_os() -> u64 {
+    use rand::SeedableRng;
+    let mut r = rand::rngs::StdRng::from_entropy();
+    rand::Rng::gen(&mut r)
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient randomness behind a reasoned waiver.
+pub fn roll() -> u64 {
+    // detlint: allow(ambient_rng) — interactive demo path, never inside a trial
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

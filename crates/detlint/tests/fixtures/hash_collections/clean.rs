@@ -1,0 +1,11 @@
+//! Fixture: deterministic collections only. Mentions of HashMap in
+//! comments and strings must not be flagged.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new(); // was a HashMap once
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

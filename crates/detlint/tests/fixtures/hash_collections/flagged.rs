@@ -1,0 +1,12 @@
+//! Fixture: hash collections in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,9 @@
+//! Fixture: a hash map that never reaches output, waived with a reason.
+// detlint: allow(hash_collections) — membership cache, iteration order never observed
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u64]) -> usize {
+    // detlint: allow(hash_collections) — same cache as above
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,6 @@
+//! Fixture: hot-path errors carry invariant messages or propagate.
+//! The ".unwrap()" in this string must not be flagged.
+pub fn apply(entry: Option<u64>) -> u64 {
+    let _doc = "never call .unwrap() here";
+    entry.expect("invariant: journal entries arrive in order")
+}

@@ -1,0 +1,5 @@
+//! Fixture: bare unwraps on a hot path.
+pub fn apply(entry: Option<u64>, prev: Option<u64>) -> u64 {
+    let e = entry.unwrap();
+    e + prev.unwrap()
+}

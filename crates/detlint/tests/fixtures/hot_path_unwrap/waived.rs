@@ -1,0 +1,5 @@
+//! Fixture: a hot-path unwrap with a reasoned waiver.
+pub fn apply(entry: Option<u64>) -> u64 {
+    // detlint: allow(hot_path_unwrap) — entry presence checked by caller this tick
+    entry.unwrap()
+}

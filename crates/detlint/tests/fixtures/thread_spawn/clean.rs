@@ -1,0 +1,5 @@
+//! Fixture: parallelism goes through the trial harness; the string
+//! below naming thread::spawn must not be flagged.
+pub fn policy() -> &'static str {
+    "use TrialHarness, not thread::spawn"
+}

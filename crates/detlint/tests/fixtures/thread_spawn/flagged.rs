@@ -1,0 +1,6 @@
+//! Fixture: raw thread spawn outside the harness.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}

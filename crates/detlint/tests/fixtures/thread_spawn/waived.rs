@@ -1,0 +1,7 @@
+//! Fixture: a spawn with a reasoned waiver.
+pub fn watchdog() {
+    // detlint: allow(thread_spawn) — watchdog thread, never touches trial state
+    std::thread::spawn(|| loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    });
+}

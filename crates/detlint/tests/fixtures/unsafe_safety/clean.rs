@@ -1,0 +1,7 @@
+//! Fixture: no unsafe at all; the word inside this string and the
+//! `unsafe_code` identifier must not be flagged.
+#![forbid(unsafe_code)]
+
+pub fn note() -> &'static str {
+    "unsafe is forbidden crate-wide"
+}

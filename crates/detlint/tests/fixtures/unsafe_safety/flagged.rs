@@ -1,0 +1,5 @@
+//! Fixture: unsafe without a SAFETY comment.
+pub fn transmute_free(x: u32) -> u32 {
+    let y = unsafe { std::mem::transmute::<u32, u32>(x) };
+    y
+}

@@ -1,0 +1,7 @@
+//! Fixture: unsafe justified by a SAFETY comment (same line and above).
+pub fn justified(x: u32) -> u32 {
+    // SAFETY: u32 -> u32 transmute is trivially sound.
+    let y = unsafe { std::mem::transmute::<u32, u32>(x) };
+    let z = unsafe { std::mem::transmute::<u32, u32>(y) }; // SAFETY: as above
+    z
+}

@@ -1,0 +1,11 @@
+//! Fixture: time handled through the sim clock; the only mentions of
+//! real clocks are in strings and comments, which must not be flagged.
+
+/// Instant::now is banned here — this doc comment is not a finding.
+pub fn describe() -> &'static str {
+    "call Instant::now via SystemTime? never: use tsuru_sim::SimTime"
+}
+
+pub fn sim_now(clock_ns: u64) -> u64 {
+    clock_ns
+}

@@ -1,0 +1,11 @@
+//! Fixture: reads the wall clock from simulated code.
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

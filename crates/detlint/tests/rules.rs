@@ -1,0 +1,167 @@
+//! Integration tests: every rule has a flagged, a waived, and a clean
+//! fixture under `tests/fixtures/<rule>/`; the workspace walk flags an
+//! injected violation; and the real repo itself lints clean under the
+//! shipped `detlint.toml`.
+//!
+//! Fixtures are read from disk (they intentionally violate the rules, so
+//! the walker skips `fixtures` directories, and they are never compiled).
+//! Each fixture is checked under a *virtual* workspace path chosen to put
+//! it in the rule's scope.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+use detlint::{check_file, check_workspace, parse_config, Config};
+
+fn fixture(rule: &str, kind: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{kind}.rs"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// A virtual path that puts the fixture inside the rule's scope.
+fn scoped_path(rule: &str) -> &'static str {
+    match rule {
+        // Any deterministic-crate src file is in scope for these.
+        "wall_clock" | "ambient_rng" | "hash_collections" | "thread_spawn"
+        | "unsafe_safety" => "crates/storage/src/fixture_under_test.rs",
+        // Hot-path rule only fires on the configured files.
+        "hot_path_unwrap" => "crates/storage/src/journal.rs",
+        other => panic!("unknown rule {other}"),
+    }
+}
+
+const ALL_RULES: [&str; 6] = [
+    "wall_clock",
+    "ambient_rng",
+    "hash_collections",
+    "thread_spawn",
+    "unsafe_safety",
+    "hot_path_unwrap",
+];
+
+#[test]
+fn every_rule_flags_its_flagged_fixture() {
+    let cfg = Config::default_repo();
+    for rule in ALL_RULES {
+        let findings = check_file(scoped_path(rule), &fixture(rule, "flagged"), &cfg);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{rule}/flagged.rs produced no {rule} finding: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_accepts_its_waived_fixture() {
+    let cfg = Config::default_repo();
+    for rule in ALL_RULES {
+        let findings = check_file(scoped_path(rule), &fixture(rule, "waived"), &cfg);
+        assert!(
+            findings.is_empty(),
+            "{rule}/waived.rs still has findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_accepts_its_clean_fixture() {
+    let cfg = Config::default_repo();
+    for rule in ALL_RULES {
+        let findings = check_file(scoped_path(rule), &fixture(rule, "clean"), &cfg);
+        assert!(
+            findings.is_empty(),
+            "{rule}/clean.rs has findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_rule() {
+    let cfg = Config::default_repo();
+    let findings = check_file(scoped_path("wall_clock"), &fixture("wall_clock", "flagged"), &cfg);
+    let f = findings.first().expect("flagged fixture has findings");
+    assert_eq!(f.file, scoped_path("wall_clock"));
+    assert!(f.line > 0);
+    let rendered = f.to_string();
+    assert!(
+        rendered.starts_with(&format!("{}:{}: wall_clock — ", f.file, f.line)),
+        "unexpected diagnostic format: {rendered}"
+    );
+}
+
+/// Build a minimal fake workspace in the cargo tmpdir and confirm the walk
+/// finds an injected violation, then goes green once it is fixed.
+#[test]
+fn workspace_walk_catches_injected_violation() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("detlint_inject");
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fake workspace");
+    let lib = src_dir.join("lib.rs");
+
+    let cfg = {
+        let mut c = Config::default_repo();
+        c.deterministic_crates.push("demo".to_owned());
+        c
+    };
+
+    // Injected violation: a hash map in a deterministic crate.
+    std::fs::write(&lib, "use std::collections::HashMap;\npub type M = HashMap<u64, u64>;\n")
+        .expect("write violation");
+    let findings = check_workspace(&root, &cfg).expect("walk");
+    assert!(
+        findings.iter().any(|f| f.rule == "hash_collections"
+            && f.file == "crates/demo/src/lib.rs"),
+        "injected violation not caught: {findings:?}"
+    );
+
+    // Fixed: deterministic collection, no findings.
+    std::fs::write(&lib, "use std::collections::BTreeMap;\npub type M = BTreeMap<u64, u64>;\n")
+        .expect("write fix");
+    let findings = check_workspace(&root, &cfg).expect("walk");
+    assert!(findings.is_empty(), "fixed tree still flagged: {findings:?}");
+}
+
+#[test]
+fn fixtures_directories_are_skipped_by_the_walk() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("detlint_skip");
+    let fix_dir = root.join("crates/demo/tests/fixtures");
+    std::fs::create_dir_all(&fix_dir).expect("mkdir");
+    std::fs::write(
+        fix_dir.join("bad.rs"),
+        "pub fn f() { let _ = std::time::Instant::now(); }\n",
+    )
+    .expect("write");
+    let findings = check_workspace(&root, &Config::default_repo()).expect("walk");
+    assert!(findings.is_empty(), "fixtures dir was not skipped: {findings:?}");
+}
+
+/// The repo's own acceptance gate: the tree this test ships in must lint
+/// clean under the shipped detlint.toml. This is what `cargo run -p
+/// detlint` asserts in CI, pinned here so `cargo test` alone catches a
+/// regression.
+#[test]
+fn repo_lints_clean_under_shipped_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let toml_path = root.join("detlint.toml");
+    let cfg = match std::fs::read_to_string(&toml_path) {
+        Ok(text) => parse_config(&text).expect("detlint.toml parses"),
+        // Source not laid out as the full repo (e.g. crate published alone):
+        // nothing to assert.
+        Err(_) => return,
+    };
+    let findings = check_workspace(&root, &cfg).expect("walk repo");
+    assert!(
+        findings.is_empty(),
+        "repo has unwaived findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -14,6 +14,7 @@
 //!   exactly the "collapsed backup" of the paper.
 //! - [`order_rpo`] — business-level recovery-point metrics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod app;

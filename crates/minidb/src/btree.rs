@@ -8,7 +8,7 @@
 //! pages are therefore never overwritten, which is what makes any
 //! prefix-consistent storage cut recoverable (DESIGN.md §5).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tsuru_storage::BlockDevice;
 
@@ -77,25 +77,25 @@ impl PageAllocator {
 /// The B+tree.
 #[derive(Debug)]
 pub struct BTree {
-    nodes: HashMap<u64, Node>,
+    nodes: BTreeMap<u64, Node>,
     root: u64,
-    dirty: HashSet<u64>,
-    on_disk: HashSet<u64>,
+    dirty: BTreeSet<u64>,
+    on_disk: BTreeSet<u64>,
 }
 
 impl BTree {
     /// A new tree with a single empty leaf as root.
     pub fn new(alloc: &mut PageAllocator) -> Self {
         let root = alloc.alloc();
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(root, Node::empty_leaf());
-        let mut dirty = HashSet::new();
+        let mut dirty = BTreeSet::new();
         dirty.insert(root);
         BTree {
             nodes,
             root,
             dirty,
-            on_disk: HashSet::new(),
+            on_disk: BTreeSet::new(),
         }
     }
 
@@ -414,7 +414,7 @@ impl BTree {
     /// Load a tree from a device, starting at `root`. Every reachable page
     /// must be present and intact.
     pub fn load(dev: &dyn BlockDevice, root: u64) -> Result<(BTree, u64), PageError> {
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         let mut max_lsn = 0u64;
         let mut queue = VecDeque::from([root]);
         while let Some(id) = queue.pop_front() {
@@ -434,7 +434,7 @@ impl BTree {
             BTree {
                 nodes,
                 root,
-                dirty: HashSet::new(),
+                dirty: BTreeSet::new(),
                 on_disk,
             },
             max_lsn,
@@ -595,7 +595,7 @@ mod tests {
             t.put(&mut a, i, vec![1]);
         }
         let ios1 = t.checkpoint_flush(&mut a, 1);
-        let gen1_pages: HashSet<u64> = ios1.iter().map(|io| io.lba).collect();
+        let gen1_pages: BTreeSet<u64> = ios1.iter().map(|io| io.lba).collect();
         a.promote_pending(); // superblock 1 is durable
 
         // Modify a fraction of the keys and checkpoint again.
@@ -603,7 +603,7 @@ mod tests {
             t.put(&mut a, i, vec![2]);
         }
         let ios2 = t.checkpoint_flush(&mut a, 2);
-        let gen2_pages: HashSet<u64> = ios2.iter().map(|io| io.lba).collect();
+        let gen2_pages: BTreeSet<u64> = ios2.iter().map(|io| io.lba).collect();
         // No page of checkpoint 2 overwrites a live page of checkpoint 1.
         assert!(
             gen1_pages.is_disjoint(&gen2_pages),

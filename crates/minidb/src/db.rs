@@ -8,7 +8,7 @@
 //! image and reports precisely which consistency property a collapsed image
 //! violates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::btree::{BTree, PageAllocator};
 use crate::io::{DbVol, IoPlan, IoRequest};
@@ -125,7 +125,7 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 struct ActiveTx {
     ops: Vec<WalOp>,
-    overlay: HashMap<u64, Option<Vec<u8>>>,
+    overlay: BTreeMap<u64, Option<Vec<u8>>>,
 }
 
 /// A MiniDB instance (fully memory-resident; durability via emitted I/O).
@@ -139,7 +139,7 @@ pub struct MiniDb {
     next_lsn: u64,
     next_txid: u64,
     ckpt_lsn: u64,
-    active: HashMap<u64, ActiveTx>,
+    active: BTreeMap<u64, ActiveTx>,
     stats: DbStats,
 }
 
@@ -165,7 +165,7 @@ impl MiniDb {
             next_lsn: 1,
             next_txid: 1,
             ckpt_lsn: 0,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             stats: DbStats::default(),
         };
         db.wal = WalWriter::new(db.config.wal_blocks, 0);
@@ -209,7 +209,7 @@ impl MiniDb {
             id,
             ActiveTx {
                 ops: Vec::new(),
-                overlay: HashMap::new(),
+                overlay: BTreeMap::new(),
             },
         );
         TxId(id)
@@ -461,7 +461,7 @@ impl MiniDb {
             next_lsn: wal_end + 1,
             next_txid: max_txid,
             ckpt_lsn: sb.ckpt_lsn,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             stats: DbStats::default(),
         };
         Ok((db, report))

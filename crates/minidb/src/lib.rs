@@ -13,6 +13,7 @@
 //! which physical property a collapsed image violates
 //! ([`RecoveryError::DataAheadOfWal`], torn pages, missing pages).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod btree;

@@ -8,6 +8,7 @@
 //! *including the consistency-group setting* without any knowledge of the
 //! external storage system. Untagging tears the configuration down again.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tsuru_container::{

@@ -17,6 +17,7 @@
 //!   backup catalogue production systems add on top of the paper's
 //!   on-demand snapshots).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod driver;

@@ -7,7 +7,7 @@
 //! platform and surfaces replicated volumes there as PVs/PVCs, reproducing
 //! Fig. 4 of the paper (claims appearing at the backup site after tagging).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsuru_container::{
     ApiServer, ClaimPhase, ObjectMeta, PersistentVolume, PersistentVolumeClaim, Reconciler,
@@ -37,9 +37,9 @@ pub struct ReplicationPlugin {
     cfg: ReplicationPluginConfig,
     /// Array group(s) backing each ReplicationGroup CR (one when the CR
     /// requests a consistency group, one per member otherwise).
-    groups_by_cr: HashMap<String, Vec<GroupId>>,
+    groups_by_cr: BTreeMap<String, Vec<GroupId>>,
     /// Array pair backing each VolumeReplication CR.
-    pairs_by_cr: HashMap<String, PairId>,
+    pairs_by_cr: BTreeMap<String, PairId>,
     /// Pairs configured over this plugin's lifetime.
     pub pairs_created: u64,
     /// Pairs torn down.
@@ -51,8 +51,8 @@ impl ReplicationPlugin {
     pub fn new(cfg: ReplicationPluginConfig) -> Self {
         ReplicationPlugin {
             cfg,
-            groups_by_cr: HashMap::new(),
-            pairs_by_cr: HashMap::new(),
+            groups_by_cr: BTreeMap::new(),
+            pairs_by_cr: BTreeMap::new(),
             pairs_created: 0,
             pairs_removed: 0,
         }
@@ -264,7 +264,7 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
 pub struct BackupSiteImporter {
     /// The backup-site array this importer watches.
     pub backup_array: ArrayId,
-    imported: HashMap<String, ()>,
+    imported: BTreeMap<String, ()>,
 }
 
 impl BackupSiteImporter {
@@ -272,7 +272,7 @@ impl BackupSiteImporter {
     pub fn new(backup_array: ArrayId) -> Self {
         BackupSiteImporter {
             backup_array,
-            imported: HashMap::new(),
+            imported: BTreeMap::new(),
         }
     }
 }
@@ -341,7 +341,7 @@ impl Reconciler<StorageWorld> for BackupSiteImporter {
         }
 
         // Remove imports whose pair was torn down.
-        let live_keys: std::collections::HashSet<&String> =
+        let live_keys: std::collections::BTreeSet<&String> =
             live.iter().map(|(k, _, _)| k).collect();
         let dead: Vec<String> = self
             .imported

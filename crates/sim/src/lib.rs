@@ -30,6 +30,7 @@
 //! assert_eq!(sim.now(), SimTime::from_millis(2));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod kernel;

@@ -7,6 +7,7 @@
 //! frame would arrive and schedule delivery events on the simulation kernel
 //! themselves, keeping this crate free of any storage-layer knowledge.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod link;

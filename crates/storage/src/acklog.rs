@@ -7,7 +7,7 @@
 //! applied-count vector at the backup site, whether the combined image is
 //! such a prefix.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsuru_sim::SimTime;
 
@@ -46,7 +46,7 @@ pub struct PrefixReport {
 #[derive(Debug, Default)]
 pub struct AckLog {
     entries: Vec<AckEntry>,
-    per_vol: HashMap<VolRef, Vec<u64>>,
+    per_vol: BTreeMap<VolRef, Vec<u64>>,
 }
 
 impl AckLog {
@@ -103,7 +103,7 @@ impl AckLog {
     /// volume already has: with `M = max_v G(v, k_v)` (global index of the
     /// newest included write), every volume's first *excluded* write must
     /// have a global index `> M`.
-    pub fn check_prefix(&self, applied: &HashMap<VolRef, u64>) -> PrefixReport {
+    pub fn check_prefix(&self, applied: &BTreeMap<VolRef, u64>) -> PrefixReport {
         let mut violations = Vec::new();
         let mut cut_global: Option<u64> = None;
 
@@ -156,8 +156,8 @@ impl AckLog {
         vol: VolRef,
         from: u64,
         k: u64,
-        initial: &HashMap<u64, u64>,
-    ) -> HashMap<u64, u64> {
+        initial: &BTreeMap<u64, u64>,
+    ) -> BTreeMap<u64, u64> {
         let mut expect = initial.clone();
         for &g in self
             .writes_for(vol)
@@ -199,13 +199,13 @@ mod tests {
     #[test]
     fn full_and_empty_cuts_are_consistent() {
         let l = log();
-        let all: HashMap<_, _> = [(v(1), 2), (v(2), 2)].into();
+        let all: BTreeMap<_, _> = [(v(1), 2), (v(2), 2)].into();
         let r = l.check_prefix(&all);
         assert!(r.consistent, "{:?}", r.violations);
         assert_eq!(r.cut_global, Some(3));
         assert_eq!(r.cut_time, Some(t(4)));
 
-        let none: HashMap<_, _> = [(v(1), 0), (v(2), 0)].into();
+        let none: BTreeMap<_, _> = [(v(1), 0), (v(2), 0)].into();
         let r = l.check_prefix(&none);
         assert!(r.consistent);
         assert_eq!(r.cut_global, None);
@@ -215,7 +215,7 @@ mod tests {
     fn proper_prefix_is_consistent() {
         let l = log();
         // First three global writes: v1 has 2, v2 has 1.
-        let cut: HashMap<_, _> = [(v(1), 2), (v(2), 1)].into();
+        let cut: BTreeMap<_, _> = [(v(1), 2), (v(2), 1)].into();
         let r = l.check_prefix(&cut);
         assert!(r.consistent, "{:?}", r.violations);
         assert_eq!(r.cut_global, Some(2));
@@ -226,7 +226,7 @@ mod tests {
         let l = log();
         // v2 applied both writes but v1 applied none: the cut contains
         // global #3 while missing global #0 — the paper's collapse.
-        let cut: HashMap<_, _> = [(v(1), 0), (v(2), 2)].into();
+        let cut: BTreeMap<_, _> = [(v(1), 0), (v(2), 2)].into();
         let r = l.check_prefix(&cut);
         assert!(!r.consistent);
         assert_eq!(r.violations.len(), 1);
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn over_applied_is_detected() {
         let l = log();
-        let cut: HashMap<_, _> = [(v(1), 5)].into();
+        let cut: BTreeMap<_, _> = [(v(1), 5)].into();
         let r = l.check_prefix(&cut);
         assert!(!r.consistent);
         assert!(r.violations[0].contains("only 2 were acknowledged"));
@@ -246,7 +246,7 @@ mod tests {
     fn single_volume_any_prefix_is_consistent() {
         let l = log();
         for k in 0..=2 {
-            let cut: HashMap<_, _> = [(v(1), k)].into();
+            let cut: BTreeMap<_, _> = [(v(1), k)].into();
             assert!(l.check_prefix(&cut).consistent, "k={k}");
         }
     }
@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn expected_content_overlays_initial_image() {
         let l = log();
-        let initial: HashMap<u64, u64> = [(0, 99), (7, 77)].into();
+        let initial: BTreeMap<u64, u64> = [(0, 99), (7, 77)].into();
         // After 1 write to v1 (lba 0, hash 11): lba0 overwritten, lba7 kept.
         let e = l.expected_content(v(1), 0, 1, &initial);
         assert_eq!(e[&0], 11);
@@ -272,7 +272,7 @@ mod tests {
         let l = log();
         // A pair created after v1's first write: the initial image already
         // holds hash 11 at lba 0; replaying k=1 from offset 1 adds lba 1.
-        let initial: HashMap<u64, u64> = [(0, 11)].into();
+        let initial: BTreeMap<u64, u64> = [(0, 11)].into();
         let e = l.expected_content(v(1), 1, 1, &initial);
         assert_eq!(e[&0], 11);
         assert_eq!(e[&1], 12);

@@ -6,7 +6,7 @@
 //! is driven by the replication engine and host-port functions in
 //! [`crate::engine`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use tsuru_sim::{ServiceStation, SimDuration, SimTime};
@@ -64,13 +64,13 @@ pub struct StorageArray {
     id: ArrayId,
     name: String,
     perf: ArrayPerf,
-    volumes: HashMap<VolumeId, Volume>,
+    volumes: BTreeMap<VolumeId, Volume>,
     /// Active snapshots, and which base volume each belongs to.
-    snapshots: HashMap<SnapshotId, Snapshot>,
-    by_base: HashMap<VolumeId, Vec<SnapshotId>>,
-    stations: HashMap<VolumeId, ServiceStation>,
+    snapshots: BTreeMap<SnapshotId, Snapshot>,
+    by_base: BTreeMap<VolumeId, Vec<SnapshotId>>,
+    stations: BTreeMap<VolumeId, ServiceStation>,
     pools: Vec<Pool>,
-    vol_pool: HashMap<VolumeId, PoolId>,
+    vol_pool: BTreeMap<VolumeId, PoolId>,
     next_volume: u64,
     next_snapshot: u64,
     next_snap_group: u64,
@@ -85,12 +85,12 @@ impl StorageArray {
             id,
             name: name.into(),
             perf,
-            volumes: HashMap::new(),
-            snapshots: HashMap::new(),
-            by_base: HashMap::new(),
-            stations: HashMap::new(),
+            volumes: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            by_base: BTreeMap::new(),
+            stations: BTreeMap::new(),
             pools: vec![Pool::new(PoolId(0), "default", DEFAULT_POOL_CAPACITY)],
-            vol_pool: HashMap::new(),
+            vol_pool: BTreeMap::new(),
             next_volume: 0,
             next_snapshot: 0,
             next_snap_group: 0,
@@ -505,8 +505,11 @@ mod tests {
         assert_eq!(cow, 1);
         let cow2 = a.write_block(v, 0, block_from(b"later"));
         assert_eq!(cow2, 0); // already preserved
-        assert_eq!(&a.read_snapshot_block(snap, 0).unwrap()[..6], b"before");
-        assert_eq!(&a.read_block(v, 0).unwrap()[..5], b"later");
+        assert_eq!(
+            &a.read_snapshot_block(snap, 0).expect("invariant: snapshot exists")[..6],
+            b"before"
+        );
+        assert_eq!(&a.read_block(v, 0).expect("invariant: volume exists")[..5], b"later");
         assert_eq!(a.cow_saves(), 1);
     }
 
@@ -550,9 +553,9 @@ mod tests {
         let s1 = a.create_snapshot(v, "s1", SimTime::from_secs(1));
         let cow = a.write_block(v, 0, block_from(b"gen2"));
         assert_eq!(cow, 1, "only s1 needs preservation; s0 already saved");
-        assert_eq!(&a.read_snapshot_block(s0, 0).unwrap()[..4], b"gen0");
-        assert_eq!(&a.read_snapshot_block(s1, 0).unwrap()[..4], b"gen1");
-        assert_eq!(&a.read_block(v, 0).unwrap()[..4], b"gen2");
+        assert_eq!(&a.read_snapshot_block(s0, 0).expect("invariant: snapshot exists")[..4], b"gen0");
+        assert_eq!(&a.read_snapshot_block(s1, 0).expect("invariant: snapshot exists")[..4], b"gen1");
+        assert_eq!(&a.read_block(v, 0).expect("invariant: volume exists")[..4], b"gen2");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! synchronously — these adapters provide that access, plus an in-memory
 //! device for unit tests of the database engine itself.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::array::StorageArray;
 use crate::block::{block_from, BlockBuf, SnapshotId, VolumeId, BLOCK_SIZE};
@@ -29,7 +29,7 @@ pub trait BlockDeviceMut: BlockDevice {
 #[derive(Debug, Clone, Default)]
 pub struct MemDevice {
     size_blocks: u64,
-    blocks: HashMap<u64, BlockBuf>,
+    blocks: BTreeMap<u64, BlockBuf>,
 }
 
 impl MemDevice {
@@ -37,7 +37,7 @@ impl MemDevice {
     pub fn new(size_blocks: u64) -> Self {
         MemDevice {
             size_blocks,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@
 //! where backups of a multi-volume application can collapse, corresponds
 //! to putting each volume in its own single-pair group.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsuru_sim::{DetRng, SimTime};
 use tsuru_simnet::LinkId;
@@ -74,10 +74,10 @@ pub struct Pair {
     pub applied_writes: u64,
     /// Content fingerprint of the primary volume at pair-creation time
     /// (the initial-copy image), for the write-order-fidelity checker.
-    pub initial_hashes: HashMap<u64, u64>,
+    pub initial_hashes: BTreeMap<u64, u64>,
     /// Blocks written on the primary while the group was suspended — the
     /// delta-resync working set (mirrors array dirty bitmaps).
-    pub dirty_since_suspend: std::collections::HashSet<u64>,
+    pub dirty_since_suspend: std::collections::BTreeSet<u64>,
 }
 
 /// Per-group replication statistics.
@@ -164,7 +164,7 @@ pub struct ReplicationFabric {
     groups: Vec<Group>,
     pairs: Vec<Pair>,
     journals: Vec<Journal>,
-    by_primary: HashMap<VolRef, Vec<PairId>>,
+    by_primary: BTreeMap<VolRef, Vec<PairId>>,
 }
 
 impl ReplicationFabric {
@@ -324,8 +324,8 @@ mod tests {
             ack_offset: 0,
             acked_writes: 0,
             applied_writes: 0,
-            initial_hashes: HashMap::new(),
-            dirty_since_suspend: std::collections::HashSet::new(),
+            initial_hashes: BTreeMap::new(),
+            dirty_since_suspend: std::collections::BTreeSet::new(),
         })
     }
 

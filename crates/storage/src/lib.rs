@@ -17,6 +17,7 @@
 //!   acknowledgement order — the property the paper's consistency groups
 //!   exist to protect.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod acklog;

@@ -7,7 +7,7 @@
 //! the same instant across several volumes, giving a crash-consistent
 //! multi-volume image.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsuru_sim::SimTime;
 
@@ -21,10 +21,10 @@ pub struct Snapshot {
     base: VolumeId,
     created_at: SimTime,
     /// Old content saved on first overwrite after creation, keyed by LBA.
-    saved: HashMap<u64, BlockBuf>,
+    saved: BTreeMap<u64, BlockBuf>,
     /// LBAs that were unwritten at snapshot time but have since been written
     /// on the base — reads of these must return "unwritten", not base data.
-    was_empty: HashMap<u64, ()>,
+    was_empty: BTreeMap<u64, ()>,
     group: Option<u64>,
 }
 
@@ -41,8 +41,8 @@ impl Snapshot {
             name: name.into(),
             base,
             created_at,
-            saved: HashMap::new(),
-            was_empty: HashMap::new(),
+            saved: BTreeMap::new(),
+            was_empty: BTreeMap::new(),
             group,
         }
     }

@@ -1,6 +1,6 @@
 //! The volume: a sparse array of blocks with write-generation tracking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::block::{content_hash, BlockBuf, VolumeId, BLOCK_SIZE};
 
@@ -20,7 +20,7 @@ pub struct Volume {
     id: VolumeId,
     name: String,
     size_blocks: u64,
-    blocks: HashMap<u64, BlockBuf>,
+    blocks: BTreeMap<u64, BlockBuf>,
     role: VolumeRole,
     writes: u64,
 }
@@ -33,7 +33,7 @@ impl Volume {
             id,
             name: name.into(),
             size_blocks,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             role: VolumeRole::Primary,
             writes: 0,
         }
@@ -103,7 +103,7 @@ impl Volume {
         self.blocks.clear();
     }
 
-    /// Iterate over `(lba, block)` in unspecified order.
+    /// Iterate over `(lba, block)` in ascending LBA order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &BlockBuf)> {
         self.blocks.iter().map(|(&lba, b)| (lba, b))
     }
@@ -111,7 +111,7 @@ impl Volume {
     /// Content fingerprint of every allocated block, keyed by LBA.
     /// Used by the write-order-fidelity checker to compare a secondary
     /// volume against the expected prefix state.
-    pub fn content_hashes(&self) -> HashMap<u64, u64> {
+    pub fn content_hashes(&self) -> BTreeMap<u64, u64> {
         self.blocks
             .iter()
             .map(|(&lba, b)| (lba, content_hash(b)))

@@ -5,7 +5,7 @@
 //! (volume/pair/group lifecycle, snapshots, failover) are synchronous
 //! methods here; the timed data plane lives in `engine`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsuru_sim::{DetRng, SimDuration, SimTime};
 use tsuru_simnet::{LinkConfig, LinkId, Network, TransferOutcome};
@@ -291,7 +291,7 @@ impl StorageWorld {
             acked_writes: 0,
             applied_writes: 0,
             initial_hashes,
-            dirty_since_suspend: std::collections::HashSet::new(),
+            dirty_since_suspend: std::collections::BTreeSet::new(),
         })
     }
 
@@ -522,8 +522,8 @@ impl StorageWorld {
 
     /// Applied-write counts per *primary* volume for the given groups
     /// (the cut vector the backup image represents).
-    pub fn applied_counts(&self, groups: &[GroupId]) -> HashMap<VolRef, u64> {
-        let mut out = HashMap::new();
+    pub fn applied_counts(&self, groups: &[GroupId]) -> BTreeMap<VolRef, u64> {
+        let mut out = BTreeMap::new();
         for &gid in groups {
             for &pid in &self.fabric.group(gid).pairs {
                 let p = self.fabric.pair(pid);

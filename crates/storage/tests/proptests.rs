@@ -7,7 +7,7 @@
 
 #![allow(clippy::field_reassign_with_default)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use tsuru_sim::{Sim, SimDuration, SimTime};
@@ -23,7 +23,7 @@ use tsuru_storage::{
 
 /// Reference implementation: a cut (k_v per volume) is prefix-consistent
 /// iff it equals the per-volume counts of some global prefix.
-fn prefix_reference(order: &[usize], counts: &HashMap<usize, u64>) -> bool {
+fn prefix_reference(order: &[usize], counts: &BTreeMap<usize, u64>) -> bool {
     let nvol = counts.keys().max().map(|m| m + 1).unwrap_or(0);
     let mut running = vec![0u64; nvol];
     let target: Vec<u64> = (0..nvol)
@@ -61,8 +61,8 @@ proptest! {
             per_vol_total[v] += 1;
         }
         // Build an arbitrary cut (not necessarily a prefix).
-        let mut counts = HashMap::new();
-        let mut ref_counts = HashMap::new();
+        let mut counts = BTreeMap::new();
+        let mut ref_counts = BTreeMap::new();
         for v in 0..4usize {
             let k = (per_vol_total[v] as f64 * cut_fracs[v]).round() as u64;
             counts.insert(volref(v), k);
@@ -96,9 +96,9 @@ proptest! {
         for (i, &v) in order.iter().enumerate() {
             log.append(volref(v), i as u64, i as u64, SimTime::from_nanos(i as u64));
         }
-        let counts_of = |prefix: &[usize]| -> (HashMap<VolRef, u64>, HashMap<usize, u64>) {
-            let mut counts = HashMap::new();
-            let mut ref_counts = HashMap::new();
+        let counts_of = |prefix: &[usize]| -> (BTreeMap<VolRef, u64>, BTreeMap<usize, u64>) {
+            let mut counts = BTreeMap::new();
+            let mut ref_counts = BTreeMap::new();
             for v in 0..4usize {
                 let k = prefix.iter().filter(|&&x| x == v).count() as u64;
                 counts.insert(volref(v), k);
