@@ -6,6 +6,7 @@
 //! cargo run -p tsuru-bench --release --bin repro           # everything
 //! cargo run -p tsuru-bench --release --bin repro e1 e5     # a subset
 //! cargo run -p tsuru-bench --release --bin repro e2 --threads 8
+//! cargo run -p tsuru-bench --release --bin repro --chaos    # chaos sweep (E8)
 //! ```
 //!
 //! `--threads N` sets the trial-harness worker count for the multi-trial
@@ -28,6 +29,7 @@ use tsuru_core::experiments::{
     a1_backup_lag_with, a2_journal_policy_with, e1_slowdown_with, e2_collapse_with, e3_rpo_with,
     e4_snapshot, e5_operator, e6_demo, e7_three_dc,
 };
+use tsuru_chaos::{chaos_sweep, render_chaos_table, ChaosConfig};
 use tsuru_core::{HarnessStats, TrialHarness};
 use tsuru_sim::SimDuration;
 
@@ -166,6 +168,28 @@ fn run_e7() {
     );
 }
 
+fn run_chaos(harness: &TrialHarness) {
+    println!("== E8 (extension): deterministic chaos sweep — CG vs naive under fault ==");
+    println!("   seeded random plans, core quartet overlapping ≥4 fault kinds; each plan");
+    println!("   replayed against both backup modes and audited at every fault edge\n");
+    let cfg = ChaosConfig::default();
+    let set = chaos_sweep(harness, 0xC0FFEE, 5, &cfg);
+    report("chaos", &set.stats);
+    let table = render_chaos_table(&set.rows);
+    println!("{table}");
+    maybe_csv("chaos", &table);
+    println!("-- auditor reports --");
+    for pair in &set.rows {
+        print!("{}", pair.cg.render());
+        print!("{}", pair.naive.render());
+    }
+    println!(
+        "\nexpect: adc-cg reports zero violations in every trial; adc-naive is caught\n\
+         violating write-order fidelity mid-fault. Reports are byte-identical for a\n\
+         given seed at any --threads value.\n"
+    );
+}
+
 fn run_a1(harness: &TrialHarness) {
     println!("== A1 (ablation): backup lag vs transfer-pump parameters ==");
     println!("   acked-but-unapplied backlog sampled every 5 ms over a 300 ms run\n");
@@ -200,7 +224,8 @@ fn main() {
         .skip(1)
         .filter(|a| !a.starts_with("--"))
         .collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let chaos_flag = env::args().any(|a| a == "--chaos");
+    let all = (args.is_empty() && !chaos_flag) || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let harness = TrialHarness::new(threads_arg());
 
@@ -226,6 +251,11 @@ fn main() {
     }
     if want("e7") {
         run_e7();
+    }
+    // Opt-in only (`repro chaos` or `repro --chaos`): a full sweep replays
+    // every plan twice, so it is not part of the default `all` set.
+    if args.iter().any(|a| a == "chaos") || chaos_flag {
+        run_chaos(&harness);
     }
     if want("a1") {
         run_a1(&harness);

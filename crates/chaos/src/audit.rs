@@ -1,0 +1,314 @@
+//! The whole-system consistency auditor.
+//!
+//! Mid-run (every fault start, every heal, and a periodic sample grid)
+//! the auditor checks invariants that must hold at *any* instant:
+//!
+//! 1. **Write-order fidelity** — the backup image of every group is a
+//!    prefix-consistent cut of the primary ack log, and the secondary
+//!    bytes match that prefix exactly (`StorageWorld::verify_consistency`).
+//! 2. **No stuck pump** — an `Active` ADC group whose link is up and whose
+//!    primary journal holds unsent entries must have a scheduled transfer
+//!    pump (a parked pump after a heal is the regression the `heal_link`
+//!    API exists to prevent).
+//! 3. **Lifecycle legality** — observed group-state transitions respect
+//!    [`GroupState::can_transition_to`] (e.g. a promoted group never
+//!    silently reactivates).
+//!
+//! At final quiescence it additionally checks:
+//!
+//! 4. **Journal drain** — both journals of every group empty, every pair's
+//!    acked count equals its applied count (RPO drains to zero once all
+//!    faults heal).
+//! 5. **Business recovery** — both databases recover from the backup-site
+//!    replicas, the cross-database invariant holds, and no order committed
+//!    at the main site is missing from the drained backup.
+//! 6. **Snapshot crash consistency** — every snapshot group taken during a
+//!    fault window recovers into consistent databases.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tsuru_core::TwoSiteRig;
+use tsuru_minidb::MiniDb;
+use tsuru_sim::SimTime;
+use tsuru_storage::{GroupId, GroupState, SnapshotId, SnapshotView};
+
+/// One invariant violation, timestamped in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// When the audit observed it.
+    pub at: SimTime,
+    /// Which invariant (stable short label).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The auditor's verdict for one chaos trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Backup-mode label (`adc-cg` / `adc-naive`).
+    pub mode: String,
+    /// Trial seed.
+    pub seed: u64,
+    /// Distinct fault kinds injected.
+    pub kinds: Vec<String>,
+    /// Fault events in the plan.
+    pub events: usize,
+    /// Audit points evaluated (mid-run + final).
+    pub audits: u64,
+    /// Orders committed by the workload.
+    pub committed_orders: u64,
+    /// Every violation observed, in audit order.
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosReport {
+    /// Zero violations across every audit point?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic multi-line rendering — byte-identical for identical
+    /// (seed, plan, mode) regardless of harness thread count.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos mode={} seed={} events={} kinds=[{}] audits={} orders={} violations={}\n",
+            self.mode,
+            self.seed,
+            self.events,
+            self.kinds.join(","),
+            self.audits,
+            self.committed_orders,
+            self.violations.len(),
+        );
+        for v in &self.violations {
+            out.push_str(&format!("  {:>12} {:<22} {}\n", v.at.to_string(), v.invariant, v.detail));
+        }
+        out
+    }
+}
+
+/// Incremental auditor state for one trial.
+pub struct Auditor {
+    groups: Vec<GroupId>,
+    prev_states: BTreeMap<GroupId, GroupState>,
+    /// Snapshot groups taken during fault windows, for the final audit.
+    snapshots: Vec<(SimTime, Vec<SnapshotId>)>,
+    /// Audit points evaluated so far.
+    pub audits: u64,
+    /// Violations collected so far.
+    pub violations: Vec<Violation>,
+}
+
+impl Auditor {
+    /// An auditor over the rig's groups.
+    pub fn new(rig: &TwoSiteRig) -> Self {
+        let prev_states = rig
+            .groups
+            .iter()
+            .map(|&g| (g, rig.world.st.fabric.group(g).state))
+            .collect();
+        Auditor {
+            groups: rig.groups.clone(),
+            prev_states,
+            snapshots: Vec::new(),
+            audits: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Record a snapshot group taken mid-fault (audited at quiesce).
+    pub fn record_snapshot_group(&mut self, at: SimTime, snaps: Vec<SnapshotId>) {
+        self.snapshots.push((at, snaps));
+    }
+
+    fn violate(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+        self.violations.push(Violation {
+            at,
+            invariant,
+            detail,
+        });
+    }
+
+    /// The mid-run invariant set (checks 1–3). Call at fault starts,
+    /// heals, and on the periodic sample grid.
+    pub fn audit_point(&mut self, rig: &TwoSiteRig) {
+        self.audits += 1;
+        let now = rig.sim.now();
+        let st = &rig.world.st;
+        let groups = self.groups.clone();
+
+        // 1. Write-order fidelity of every backup image.
+        let report = st.verify_consistency(&groups);
+        if !report.prefix.consistent {
+            for v in &report.prefix.violations {
+                self.violate(now, "prefix-cut", v.clone());
+            }
+        }
+        for m in &report.content_mismatches {
+            self.violate(now, "content-mismatch", m.clone());
+        }
+
+        // 2. No parked pump with work, an up link and an Active group.
+        for &gid in &groups {
+            let g = st.fabric.group(gid);
+            if g.state != GroupState::Active || g.pump_scheduled {
+                continue;
+            }
+            if !st.net.link(g.link).is_up(now) {
+                continue;
+            }
+            let has_backlog = g
+                .primary_jnl
+                .map(|j| !st.fabric.journal(j).peek_unsent(1, u64::MAX).is_empty())
+                .unwrap_or(false);
+            if has_backlog {
+                self.violate(
+                    now,
+                    "parked-pump",
+                    format!("group g{} has unsent backlog, link up, pump idle", gid.0),
+                );
+            }
+        }
+
+        // 3. Lifecycle legality of observed state transitions.
+        for &gid in &groups {
+            let cur = st.fabric.group(gid).state;
+            let prev = self.prev_states.insert(gid, cur).unwrap_or(cur);
+            if !prev.can_transition_to(cur) {
+                self.violate(
+                    now,
+                    "illegal-transition",
+                    format!("group g{}: {prev:?} -> {cur:?}", gid.0),
+                );
+            }
+        }
+    }
+
+    /// The final-quiescence invariant set (checks 4–6) plus a last
+    /// mid-run pass. Consumes the auditor and produces the report.
+    pub fn finish(mut self, rig: &TwoSiteRig, seed: u64, kinds: Vec<String>, events: usize) -> ChaosReport {
+        self.audit_point(rig);
+        let now = rig.sim.now();
+        let st = &rig.world.st;
+        let groups = self.groups.clone();
+
+        // 4. Journals drained, acked == applied for every pair.
+        for &gid in &groups {
+            let g = st.fabric.group(gid);
+            for jid in [g.primary_jnl, g.secondary_jnl].into_iter().flatten() {
+                let j = st.fabric.journal(jid);
+                if !j.is_empty() {
+                    self.violate(
+                        now,
+                        "journal-not-drained",
+                        format!("group g{}: {} entries left", gid.0, j.len()),
+                    );
+                }
+            }
+            for &pid in &g.pairs {
+                let p = st.fabric.pair(pid);
+                if p.acked_writes != p.applied_writes {
+                    self.violate(
+                        now,
+                        "rpo-not-zero",
+                        format!(
+                            "pair {}: acked {} != applied {}",
+                            p.id.0, p.acked_writes, p.applied_writes
+                        ),
+                    );
+                }
+            }
+        }
+
+        // 5. Business recovery from the drained backup replicas.
+        let outcome = rig.recover_from_backup();
+        if let Err(e) = &outcome.sales {
+            self.violate(now, "recovery-failed", format!("sales: {e:?}"));
+        }
+        if let Err(e) = &outcome.stock {
+            self.violate(now, "recovery-failed", format!("stock: {e:?}"));
+        }
+        if let Some(inv) = &outcome.invariant {
+            if !inv.consistent() {
+                self.violate(now, "cross-db", format!("{inv:?}"));
+            }
+        }
+        if let Some(orders) = &outcome.orders {
+            if orders.lost != 0 {
+                self.violate(
+                    now,
+                    "orders-lost-after-drain",
+                    format!("{} of {} committed orders missing", orders.lost, orders.committed),
+                );
+            }
+        }
+
+        // 6. Crash consistency of every snapshot group taken mid-fault.
+        let snapshots = std::mem::take(&mut self.snapshots);
+        for (taken_at, snaps) in &snapshots {
+            self.audit_snapshot_group(rig, *taken_at, snaps);
+        }
+
+        ChaosReport {
+            mode: rig.config.mode.label().to_string(),
+            seed,
+            kinds,
+            events,
+            audits: self.audits,
+            committed_orders: rig.committed_orders(),
+            violations: self.violations,
+        }
+    }
+
+    /// Recover both databases from a 4-volume snapshot group and check the
+    /// cross-database invariant (the snapshot must be crash-consistent).
+    fn audit_snapshot_group(&mut self, rig: &TwoSiteRig, taken_at: SimTime, snaps: &[SnapshotId]) {
+        let now = rig.sim.now();
+        if snaps.len() != 4 {
+            self.violate(
+                now,
+                "snapshot-group-short",
+                format!("snapshot group at {taken_at} has {} members", snaps.len()),
+            );
+            return;
+        }
+        let arr = rig.world.st.array(rig.backup);
+        let sales = MiniDb::recover(
+            "sales-chaos-snap",
+            &SnapshotView::new(arr, snaps[0]),
+            &SnapshotView::new(arr, snaps[1]),
+            rig.config.db.clone(),
+        );
+        let stock = MiniDb::recover(
+            "stock-chaos-snap",
+            &SnapshotView::new(arr, snaps[2]),
+            &SnapshotView::new(arr, snaps[3]),
+            rig.config.db.clone(),
+        );
+        match (sales, stock) {
+            (Ok((s, _)), Ok((t, _))) => {
+                let inv = tsuru_ecom::check_cross_db(&s, &t, rig.config.workload.initial_stock);
+                if !inv.consistent() {
+                    self.violate(
+                        now,
+                        "snapshot-cross-db",
+                        format!("snapshot group at {taken_at}: {inv:?}"),
+                    );
+                }
+            }
+            (sales, stock) => {
+                for (name, r) in [("sales", sales), ("stock", stock)] {
+                    if let Err(e) = r {
+                        self.violate(
+                            now,
+                            "snapshot-recovery-failed",
+                            format!("snapshot group at {taken_at}, {name}: {e:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The injector: applies fault starts and heals to a live rig through
+//! the public fault seams — `simnet` outages and shaping, `storage`
+//! array failure, fabric suspend/resync, and the `heal_link` pump kick.
+//!
+//! Semantics under overlap (the generator schedules at most one event per
+//! kind, but windows freely overlap):
+//!
+//! - link faults all target the data link; a heal that brings the link up
+//!   early simply shortens any other link fault still in its window
+//!   ("last action wins" — deterministic either way);
+//! - array-crash heals always recover-then-resync: in-flight batches are
+//!   dropped by the receive path while an array is failed, so `set_up`
+//!   alone would leave permanent sequence gaps;
+//! - a main-array heal additionally restarts the application: both
+//!   databases crash-recover from the primary images and the client
+//!   workload resumes (a database continuing from in-memory state would
+//!   leave a torn WAL tail on disk forever, poisoning later backups).
+
+use tsuru_core::TwoSiteRig;
+use tsuru_ecom::driver::start_clients;
+use tsuru_ecom::DbInstance;
+use tsuru_minidb::MiniDb;
+use tsuru_simnet::{LinkConfig, LinkId};
+use tsuru_storage::engine::{heal_link, kick_all_pumps};
+use tsuru_storage::{JournalId, VolumeView};
+
+use crate::audit::Auditor;
+use crate::plan::{FaultEvent, FaultKind};
+
+/// Journal capacity floor during a squeeze: small enough to stall a busy
+/// group within a few pump intervals, large enough to admit single blocks.
+const SQUEEZE_FLOOR_BYTES: u64 = 64 * 1024;
+
+/// Pristine shapes captured at trial start, restored by heals.
+pub(crate) struct Injector {
+    data_link: LinkId,
+    orig_link: LinkConfig,
+    orig_journal_caps: Vec<(JournalId, u64)>,
+}
+
+impl Injector {
+    pub(crate) fn new(rig: &TwoSiteRig) -> Self {
+        let data_link = rig.world.st.fabric.group(rig.groups[0]).link;
+        let orig_link = rig.world.st.net.link(data_link).config().clone();
+        let orig_journal_caps = rig
+            .groups
+            .iter()
+            .filter_map(|&g| rig.world.st.fabric.group(g).primary_jnl)
+            .map(|j| (j, rig.world.st.fabric.journal(j).capacity_bytes()))
+            .collect();
+        Injector {
+            data_link,
+            orig_link,
+            orig_journal_caps,
+        }
+    }
+
+    /// Apply a fault start at the current sim instant.
+    pub(crate) fn start(&mut self, rig: &mut TwoSiteRig, auditor: &mut Auditor, ev: &FaultEvent) {
+        let now = rig.sim.now();
+        match ev.kind {
+            FaultKind::LinkFlap => {
+                rig.world
+                    .st
+                    .net
+                    .link_mut(self.data_link)
+                    .set_down(now, Some(ev.heal_at()));
+            }
+            FaultKind::LinkPartition => {
+                rig.world.st.net.link_mut(self.data_link).set_down(now, None);
+            }
+            FaultKind::JitterSpike => {
+                let l = rig.world.st.net.link_mut(self.data_link);
+                l.set_jitter(tsuru_sim::SimDuration::from_millis(2));
+                l.set_loss_probability(0.05);
+            }
+            FaultKind::PumpStall => {
+                let bw = self.orig_link.bandwidth_bytes_per_sec / 50;
+                rig.world.st.net.link_mut(self.data_link).set_bandwidth(bw.max(1));
+            }
+            FaultKind::BackupArrayCrash => {
+                let backup = rig.backup;
+                rig.world.st.fail_array(backup, now);
+            }
+            FaultKind::MainArrayCrash => {
+                let main = rig.main;
+                rig.world.st.fail_array(main, now);
+            }
+            FaultKind::JournalSqueeze => {
+                for &(jid, _) in &self.orig_journal_caps {
+                    let j = rig.world.st.fabric.journal_mut(jid);
+                    let cap = j.used_bytes().max(SQUEEZE_FLOOR_BYTES);
+                    j.set_capacity_bytes(cap);
+                }
+            }
+            FaultKind::OperatorRestart => {
+                for &g in &rig.groups.clone() {
+                    rig.world.st.suspend_group(g, now);
+                }
+            }
+            FaultKind::SnapshotDuringFault => {
+                // Deterministically skipped while the backup array is
+                // failed (a real scheduler's snapshot request would error).
+                if !rig.world.st.array(rig.backup).is_failed() {
+                    let snaps = rig.snapshot_backup_group("chaos-snap");
+                    auditor.record_snapshot_group(now, snaps);
+                }
+            }
+        }
+    }
+
+    /// Apply the heal for `ev` at the current sim instant.
+    pub(crate) fn heal(&mut self, rig: &mut TwoSiteRig, auditor: &mut Auditor, ev: &FaultEvent) {
+        match ev.kind {
+            FaultKind::LinkFlap => {
+                // The outage end was scheduled; senders retry on their own.
+                // Kick anyway: a pump parked by an overlapping indefinite
+                // fault must not rely on new appends to restart.
+                kick_all_pumps(&mut rig.world, &mut rig.sim);
+            }
+            FaultKind::LinkPartition => {
+                heal_link(&mut rig.world, &mut rig.sim, self.data_link);
+            }
+            FaultKind::JitterSpike => {
+                let l = rig.world.st.net.link_mut(self.data_link);
+                l.set_jitter(self.orig_link.jitter);
+                l.set_loss_probability(self.orig_link.loss_probability);
+            }
+            FaultKind::PumpStall => {
+                rig.world
+                    .st
+                    .net
+                    .link_mut(self.data_link)
+                    .set_bandwidth(self.orig_link.bandwidth_bytes_per_sec);
+            }
+            FaultKind::BackupArrayCrash => {
+                let backup = rig.backup;
+                rig.world.st.array_mut(backup).recover();
+                self.resync_all(rig);
+            }
+            FaultKind::MainArrayCrash => {
+                let main = rig.main;
+                rig.world.st.array_mut(main).recover();
+                self.restart_app(rig, auditor);
+                self.resync_all(rig);
+            }
+            FaultKind::JournalSqueeze => {
+                for &(jid, cap) in &self.orig_journal_caps {
+                    rig.world.st.fabric.journal_mut(jid).set_capacity_bytes(cap);
+                }
+            }
+            FaultKind::OperatorRestart => {
+                self.resync_all(rig);
+            }
+            FaultKind::SnapshotDuringFault => {}
+        }
+    }
+
+    /// Suspend (idempotent) and delta-resync every group, then kick the
+    /// pumps. Unapplied journal entries are always part of the resync
+    /// working set, so this is a correct heal for dropped in-flight
+    /// batches as well as for operator suspension windows.
+    fn resync_all(&mut self, rig: &mut TwoSiteRig) {
+        let now = rig.sim.now();
+        for &g in &rig.groups.clone() {
+            rig.world.st.suspend_group(g, now);
+            rig.world.st.resync_group(g);
+        }
+        kick_all_pumps(&mut rig.world, &mut rig.sim);
+    }
+
+    /// Restart the business after a main-array heal: crash-recover both
+    /// databases from the (recovered) primary images, swap them into the
+    /// app state and resume the closed-loop clients.
+    ///
+    /// The restarted WAL writer continues exactly where the surviving log
+    /// ends, overwriting any torn tail the crash left; per-volume FIFO
+    /// service guarantees the torn region is always a suffix, never a
+    /// hole, so recovery of any later backup image stays well-defined.
+    fn restart_app(&mut self, rig: &mut TwoSiteRig, auditor: &mut Auditor) {
+        let now = rig.sim.now();
+        let db_cfg = rig.config.db.clone();
+        let recovered = {
+            let arr = rig.world.st.array(rig.main);
+            let sales = MiniDb::recover(
+                "sales",
+                &VolumeView::new(arr, rig.vols[0].volume),
+                &VolumeView::new(arr, rig.vols[1].volume),
+                db_cfg.clone(),
+            );
+            let stock = MiniDb::recover(
+                "stock",
+                &VolumeView::new(arr, rig.vols[2].volume),
+                &VolumeView::new(arr, rig.vols[3].volume),
+                db_cfg,
+            );
+            (sales, stock)
+        };
+        match recovered {
+            (Ok((sales, _)), Ok((stock, _))) => {
+                let vols = rig.vols;
+                let app = rig.world.app_mut();
+                app.sales = DbInstance {
+                    db: sales,
+                    wal_vol: vols[0],
+                    data_vol: vols[1],
+                };
+                app.stock = DbInstance {
+                    db: stock,
+                    wal_vol: vols[2],
+                    data_vol: vols[3],
+                };
+                app.stopped = false;
+                start_clients(&mut rig.world, &mut rig.sim);
+            }
+            (sales, stock) => {
+                // A primary image that cannot crash-recover is itself an
+                // invariant violation: the business is unrecoverable at
+                // its own site. Leave the app stopped.
+                for (name, r) in [("sales", sales), ("stock", stock)] {
+                    if let Err(e) = r {
+                        auditor.violations.push(crate::audit::Violation {
+                            at: now,
+                            invariant: "primary-recovery-failed",
+                            detail: format!("{name}: {e:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The chaos harness mode: seeded trials, CG-vs-naive pairing, failing
+//! plan shrinking, and the rendering used by `repro chaos`.
+
+use tsuru_core::{render_table, BackupMode, RigConfig, TrialHarness, TrialSet, TwoSiteRig};
+use tsuru_ecom::driver::start_clients;
+use tsuru_sim::{SimDuration, SimTime};
+
+use crate::audit::{Auditor, ChaosReport};
+use crate::inject::Injector;
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Shape of one chaos trial.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Injection/workload horizon (the plan's last heal must precede it).
+    pub horizon: SimTime,
+    /// Mid-run audit sample interval.
+    pub sample_every: SimDuration,
+    /// Client think time (denser than the default so fault windows see
+    /// real write pressure).
+    pub think_time: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            horizon: SimTime::from_millis(150),
+            sample_every: SimDuration::from_millis(5),
+            think_time: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Run one seeded chaos trial: replay `plan` against a fresh rig in
+/// `mode`, auditing at every fault start, every heal, and on the sample
+/// grid, then quiesce (stop the workload, run to empty) and apply the
+/// final invariant set.
+pub fn run_chaos_trial(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+) -> ChaosReport {
+    let mut rig_cfg = RigConfig {
+        seed,
+        mode,
+        ..RigConfig::default()
+    };
+    rig_cfg.workload.think_time_mean = cfg.think_time;
+    let mut rig = TwoSiteRig::new(rig_cfg);
+    let mut auditor = Auditor::new(&rig);
+    let mut injector = Injector::new(&rig);
+
+    // Timeline: fault starts, heals and audit samples, totally ordered by
+    // (time, start-before-heal-before-sample, event index) so replays are
+    // exact. Actions apply synchronously after the kernel has run every
+    // event up to (and including) their instant.
+    const START: u8 = 0;
+    const HEAL: u8 = 1;
+    const SAMPLE: u8 = 2;
+    let mut steps: Vec<(SimTime, u8, usize)> = Vec::new();
+    for (i, ev) in plan.events.iter().enumerate() {
+        steps.push((ev.at, START, i));
+        if ev.kind != FaultKind::SnapshotDuringFault {
+            steps.push((ev.heal_at(), HEAL, i));
+        }
+    }
+    let mut t = SimTime::ZERO + cfg.sample_every;
+    while t < plan.horizon {
+        steps.push((t, SAMPLE, 0));
+        t = t + cfg.sample_every;
+    }
+    steps.sort_unstable();
+
+    start_clients(&mut rig.world, &mut rig.sim);
+    for (at, action, idx) in steps {
+        rig.sim.run_until(&mut rig.world, at);
+        match action {
+            START => injector.start(&mut rig, &mut auditor, &plan.events[idx]),
+            HEAL => injector.heal(&mut rig, &mut auditor, &plan.events[idx]),
+            _ => {}
+        }
+        auditor.audit_point(&rig);
+    }
+
+    // Quiesce: run out the horizon, stop the workload, drain everything.
+    rig.sim.run_until(&mut rig.world, plan.horizon);
+    rig.world.app_mut().stopped = true;
+    rig.sim.run(&mut rig.world);
+
+    let kinds = plan.kinds().iter().map(|s| s.to_string()).collect();
+    auditor.finish(&rig, seed, kinds, plan.events.len())
+}
+
+/// One trial's paired verdict: the same plan against the paper's design
+/// (consistency group) and the naive per-volume ablation.
+#[derive(Debug, Clone)]
+pub struct ChaosPair {
+    /// Consistency-group report (expected clean).
+    pub cg: ChaosReport,
+    /// Per-volume report (expected to violate under fault).
+    pub naive: ChaosReport,
+}
+
+/// The chaos sweep: `trials` seeded random plans, each replayed against
+/// both modes. Rows are byte-stable across harness thread counts.
+pub fn chaos_sweep(
+    harness: &TrialHarness,
+    base_seed: u64,
+    trials: usize,
+    cfg: &ChaosConfig,
+) -> TrialSet<ChaosPair> {
+    harness.run(base_seed, trials, |ctx| {
+        let plan = FaultPlan::random(ctx.seed, cfg.horizon);
+        ChaosPair {
+            cg: run_chaos_trial(ctx.seed, BackupMode::AdcConsistencyGroup, &plan, cfg),
+            naive: run_chaos_trial(ctx.seed, BackupMode::AdcPerVolume, &plan, cfg),
+        }
+    })
+}
+
+/// Greedy event-removal shrinking: repeatedly drop any event whose
+/// removal keeps the plan failing (auditor reports ≥1 violation) until no
+/// single removal preserves the failure. Deterministic: same seed + plan
+/// ⇒ same shrunk plan. Returns the input unchanged if it never failed.
+pub fn shrink_plan(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+) -> FaultPlan {
+    let fails = |p: &FaultPlan| !run_chaos_trial(seed, mode, p, cfg).is_clean();
+    let mut cur = plan.clone();
+    if !fails(&cur) {
+        return cur;
+    }
+    loop {
+        let mut shrunk = false;
+        for i in 0..cur.events.len() {
+            let mut cand = cur.clone();
+            cand.events.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return cur;
+        }
+    }
+}
+
+/// Render the sweep table (one row per trial) for `repro chaos`.
+pub fn render_chaos_table(rows: &[ChaosPair]) -> String {
+    render_table(
+        &[
+            "trial",
+            "seed",
+            "events",
+            "kinds",
+            "audits",
+            "cg_violations",
+            "naive_violations",
+            "cg_orders",
+        ],
+        &rows
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                vec![
+                    i.to_string(),
+                    format!("{:#x}", p.cg.seed),
+                    p.cg.events.to_string(),
+                    p.cg.kinds.len().to_string(),
+                    p.cg.audits.to_string(),
+                    p.cg.violations.len().to_string(),
+                    p.naive.violations.len().to_string(),
+                    p.cg.committed_orders.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

@@ -320,7 +320,7 @@ impl Config {
         );
         Config {
             allow,
-            deterministic_crates: ["sim", "storage", "core", "minidb", "plugin"]
+            deterministic_crates: ["sim", "storage", "core", "minidb", "plugin", "chaos"]
                 .map(str::to_owned)
                 .to_vec(),
             hot_paths: [
@@ -936,7 +936,7 @@ mod tests {
             paths = ["crates/core/src/harness.rs"]
 
             [rules.hash_collections]
-            crates = ["sim", "storage", "core", "minidb", "plugin"]
+            crates = ["sim", "storage", "core", "minidb", "plugin", "chaos"]
 
             [rules.hot_path_unwrap]
             paths = [

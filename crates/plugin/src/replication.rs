@@ -58,6 +58,18 @@ impl ReplicationPlugin {
         }
     }
 
+    /// Simulate a reconciler process restart: all in-memory bookkeeping is
+    /// lost. The next [`reconcile`](Reconciler::reconcile) re-adopts pairs
+    /// and groups from the handles persisted in CR status instead of
+    /// re-creating them (re-pairing a volume that already replicates is an
+    /// array-side error). Lifetime counters (`pairs_created`,
+    /// `pairs_removed`) are deliberately kept — they meter array
+    /// operations, which a controller restart does not undo.
+    pub fn restart(&mut self) {
+        self.groups_by_cr.clear();
+        self.pairs_by_cr.clear();
+    }
+
     /// Array group ids configured for a ReplicationGroup CR key.
     pub fn groups_for(&self, cr_key: &str) -> &[GroupId] {
         self.groups_by_cr
@@ -126,6 +138,47 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
     }
 
     fn reconcile(&mut self, api: &mut ApiServer, st: &mut StorageWorld) {
+        // --- adopt handles persisted by a previous incarnation ------------
+        // After a controller restart the in-memory maps are empty, but the
+        // array handles written into CR status survive. Re-adopting them
+        // keeps reconciliation idempotent across restarts: without this,
+        // the pairing loop below would try to re-pair volumes that already
+        // replicate.
+        let live_groups: std::collections::BTreeSet<GroupId> =
+            st.fabric.group_ids().into_iter().collect();
+        let rg_handles: Vec<(String, Vec<u32>)> = api
+            .replication_groups
+            .list()
+            .filter(|rg| !rg.group_handles.is_empty())
+            .map(|rg| (rg.meta.key(), rg.group_handles.clone()))
+            .collect();
+        for (rg_key, handles) in rg_handles {
+            if self.groups_by_cr.contains_key(&rg_key) {
+                continue;
+            }
+            let gids: Vec<GroupId> = handles
+                .into_iter()
+                .map(GroupId)
+                .filter(|g| live_groups.contains(g))
+                .collect();
+            if !gids.is_empty() {
+                self.groups_by_cr.insert(rg_key, gids);
+            }
+        }
+        let live_pairs: std::collections::BTreeSet<PairId> =
+            st.fabric.pair_ids().into_iter().collect();
+        let vr_handles: Vec<(String, u32)> = api
+            .replications
+            .list()
+            .filter_map(|vr| vr.pair_handle.map(|h| (vr.meta.key(), h)))
+            .collect();
+        for (vr_key, handle) in vr_handles {
+            let pid = PairId(handle);
+            if !self.pairs_by_cr.contains_key(&vr_key) && live_pairs.contains(&pid) {
+                self.pairs_by_cr.insert(vr_key, pid);
+            }
+        }
+
         // --- pair up VolumeReplication CRs -------------------------------
         let vrs: Vec<(String, String, String, Option<String>)> = api
             .replications

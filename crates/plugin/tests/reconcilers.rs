@@ -192,6 +192,41 @@ fn teardown_detaches_pairs_when_crs_vanish() {
 }
 
 #[test]
+fn restarted_plugin_adopts_existing_pairs_instead_of_recreating() {
+    let mut f = fixture();
+    add_pvc(&mut f.api, "ns", "a");
+    add_pvc(&mut f.api, "ns", "b");
+    add_rg(&mut f.api, "ns", &["a", "b"], true, ReplicationMode::Async);
+    ControllerManager::run_to_convergence(
+        &mut f.api,
+        &mut f.st,
+        &mut [&mut f.prov, &mut f.repl],
+        32,
+    );
+    assert_eq!(f.repl.pairs_created, 2);
+    let groups_before = f.repl.all_groups();
+
+    // Controller restart: in-memory maps are gone; CR status (pair_handle,
+    // group_handles) is the durable record. Without adoption the next
+    // reconcile would panic trying to re-pair already-replicating volumes.
+    f.repl.restart();
+    assert!(f.repl.all_groups().is_empty());
+    let report =
+        ControllerManager::run_to_convergence(&mut f.api, &mut f.st, &mut [&mut f.repl], 16);
+    assert!(report.converged);
+    assert_eq!(f.repl.pairs_created, 2, "no pair may be re-created");
+    assert_eq!(f.repl.all_groups(), groups_before, "groups re-adopted");
+    assert_eq!(f.st.fabric.group(groups_before[0]).pairs.len(), 2);
+    // Status stays rolled up and teardown still works after adoption.
+    let rg = f.api.replication_groups.get("ns/grp").unwrap();
+    assert_eq!(rg.state, ReplicationState::Replicating);
+    f.api.replications.delete("ns/a-repl");
+    ControllerManager::run_to_convergence(&mut f.api, &mut f.st, &mut [&mut f.repl], 16);
+    assert_eq!(f.repl.pairs_removed, 1);
+    assert_eq!(f.st.fabric.group(groups_before[0]).pairs.len(), 1);
+}
+
+#[test]
 fn importer_surfaces_and_withdraws_claims() {
     let mut f = fixture();
     add_pvc(&mut f.api, "shop", "db-vol");

@@ -52,6 +52,18 @@ impl LinkConfig {
             loss_probability: 0.0,
         }
     }
+
+    /// A degraded cross-region WAN: same path as [`LinkConfig::wan`] but
+    /// with heavy jitter and 1% random frame loss, so retransmission and
+    /// reordering paths actually run.
+    pub fn wan_lossy() -> Self {
+        LinkConfig {
+            propagation: SimDuration::from_millis(25),
+            bandwidth_bytes_per_sec: 1_000_000_000 / 8,
+            jitter: SimDuration::from_millis(2),
+            loss_probability: 0.01,
+        }
+    }
 }
 
 /// Outcome of offering a frame to a link.
@@ -85,6 +97,7 @@ pub struct Link {
     rng: DetRng,
     down_since: Option<SimTime>,
     up_at: Option<SimTime>,
+    last_arrival: SimTime,
     frames_sent: u64,
     frames_lost: u64,
     bytes_delivered: u64,
@@ -100,6 +113,7 @@ impl Link {
             rng,
             down_since: None,
             up_at: None,
+            last_arrival: SimTime::ZERO,
             frames_sent: 0,
             frames_lost: 0,
             bytes_delivered: 0,
@@ -115,6 +129,17 @@ impl Link {
     pub fn set_bandwidth(&mut self, bytes_per_sec: u64) {
         self.config.bandwidth_bytes_per_sec = bytes_per_sec;
         self.pipe.set_bytes_per_sec(bytes_per_sec);
+    }
+
+    /// Change the per-frame jitter bound mid-run (fault injection).
+    pub fn set_jitter(&mut self, jitter: SimDuration) {
+        self.config.jitter = jitter;
+    }
+
+    /// Change the random loss probability mid-run (fault injection).
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} not in [0, 1]");
+        self.config.loss_probability = p;
     }
 
     /// Take the link down at `now`. If `until` is given the link will be
@@ -166,10 +191,12 @@ impl Link {
             SimDuration::from_nanos(self.rng.gen_range(self.config.jitter.as_nanos() + 1))
         };
         self.bytes_delivered += bytes;
-        TransferOutcome::DeliveredAt {
-            at: serialized + self.config.propagation + jitter,
-            serialized,
-        }
+        // FIFO non-overtaking: jitter may vary per frame, but a link never
+        // reorders — a frame offered later cannot arrive before one offered
+        // earlier. Clamp the arrival to the latest arrival granted so far.
+        let at = (serialized + self.config.propagation + jitter).max(self.last_arrival);
+        self.last_arrival = at;
+        TransferOutcome::DeliveredAt { at, serialized }
     }
 
     /// One-way latency of an empty link for a frame of `bytes` (no queueing,
@@ -298,6 +325,60 @@ mod tests {
             } else {
                 panic!("expected delivery");
             }
+        }
+    }
+
+    #[test]
+    fn jittered_frames_never_overtake() {
+        // Huge jitter vs tiny serialization gap: without the FIFO clamp a
+        // later frame would routinely arrive before an earlier one.
+        let mut cfg = LinkConfig::with(SimDuration::from_millis(1), 1_000_000_000);
+        cfg.jitter = SimDuration::from_millis(5);
+        let mut l = link(cfg);
+        let mut prev = SimTime::ZERO;
+        for i in 0..500u64 {
+            let now = SimTime::from_nanos(i * 10);
+            match l.offer(now, 8) {
+                TransferOutcome::DeliveredAt { at, .. } => {
+                    assert!(at >= prev, "frame {i} overtook: {at} < {prev}");
+                    prev = at;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wan_lossy_preset_exercises_loss_and_jitter() {
+        let cfg = LinkConfig::wan_lossy();
+        assert!(cfg.loss_probability > 0.0);
+        assert!(!cfg.jitter.is_zero());
+        let mut l = link(cfg);
+        let mut lost = 0u64;
+        for i in 0..2000u64 {
+            if matches!(
+                l.offer(SimTime::from_nanos(i), 64),
+                TransferOutcome::Lost
+            ) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 0, "1% loss over 2000 frames should drop at least one");
+        assert_eq!(l.frames_lost(), lost);
+    }
+
+    #[test]
+    fn runtime_jitter_and_loss_mutators_take_effect() {
+        let mut l = link(LinkConfig::with(SimDuration::ZERO, 1_000_000_000));
+        l.set_loss_probability(1.0);
+        assert!(matches!(l.offer(SimTime::ZERO, 10), TransferOutcome::Lost));
+        l.set_loss_probability(0.0);
+        l.set_jitter(SimDuration::from_micros(50));
+        match l.offer(SimTime::ZERO, 0) {
+            TransferOutcome::DeliveredAt { at, .. } => {
+                assert!(at <= SimTime::from_micros(50));
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -94,7 +94,10 @@ pub fn host_write<S, F>(
     }
     let service = st.array(vol.array).perf().write_service;
     let done = st.array_mut(vol.array).admit(vol.volume, now, service);
-    sim.schedule_at(done, move |s, sim| persist(s, sim, vol, lba, data, now, cb));
+    let ticket = st.issue_write_ticket(vol);
+    sim.schedule_at(done, move |s, sim| {
+        persist(s, sim, vol, lba, data, now, ticket, cb)
+    });
 }
 
 /// Submit a block read from a host; `cb` receives the content (`None` for a
@@ -176,6 +179,7 @@ enum LegDone {
 /// time. A volume may have several replication legs (multi-target
 /// topologies: metro SDC plus WAN ADC); the host acknowledgement waits for
 /// every synchronous leg, while asynchronous legs only journal.
+#[allow(clippy::too_many_arguments)]
 fn persist<S, F>(
     state: &mut S,
     sim: &mut Sim<S>,
@@ -183,6 +187,7 @@ fn persist<S, F>(
     lba: u64,
     data: BlockBuf,
     issued: SimTime,
+    ticket: u64,
     cb: F,
 ) where
     S: HasStorage + 'static,
@@ -192,12 +197,22 @@ fn persist<S, F>(
     let hash = content_hash(&data);
     let next = {
         let st = state.storage_mut();
-        if st.array(vol.array).is_failed() {
+        // Pass 0 — per-volume ordering: apply strictly in issue order. A
+        // write stalled by a full journal (Block policy) self-retries on an
+        // independent timer, so without this gate a *stale* retry could
+        // apply after newer writes to the same block and roll its content
+        // back — the auditor catches that as a truncated WAL tail.
+        if !st.is_write_turn(vol, ticket) {
+            st.stats.write_order_waits += 1;
+            PersistNext::Stall(st.config.journal_stall_retry)
+        } else if st.array(vol.array).is_failed() {
+            st.retire_write_ticket(vol);
             st.stats.failed_writes += 1;
             PersistNext::Ack(WriteAck::Failed(WriteError::ArrayFailed))
         } else {
             let pids: Vec<PairId> = st.fabric.pairs_by_primary(vol).to_vec();
             if pids.is_empty() {
+                st.retire_write_ticket(vol);
                 let global = st.commit_local(now, vol, lba, data.clone(), hash);
                 PersistNext::Ack(WriteAck::Ok {
                     latency: now - issued,
@@ -229,7 +244,9 @@ fn persist<S, F>(
                     }
                     PersistNext::Stall(st.config.journal_stall_retry)
                 } else {
-                    // Pass 2 — persist the primary copy once.
+                    // Pass 2 — persist the primary copy once. The write is
+                    // past admission, so the volume's turn advances.
+                    st.retire_write_ticket(vol);
                     st.array_mut(vol.array).write_block(vol.volume, lba, data.clone());
                     // Pass 3 — drive each leg.
                     let mut adc_kicks = Vec::new();
@@ -285,7 +302,9 @@ fn persist<S, F>(
     match next {
         PersistNext::Ack(ack) => cb(state, sim, ack),
         PersistNext::Stall(d) => {
-            sim.schedule_in(d, move |s, sim| persist(s, sim, vol, lba, data, issued, cb));
+            sim.schedule_in(d, move |s, sim| {
+                persist(s, sim, vol, lba, data, issued, ticket, cb)
+            });
         }
         PersistNext::Legs {
             adc_kicks,
@@ -827,4 +846,27 @@ pub fn kick_all_pumps<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) 
         kick_transfer(state, sim, gid, Some(SimDuration::ZERO));
         kick_apply(state, sim, gid, None);
     }
+}
+
+/// Bring one link back up and restart every parked pump.
+///
+/// An indefinite outage ([`TransferOutcome::Down`] with no scheduled end)
+/// parks the transfer pump of any group whose journal drains over that
+/// link; nothing restarts it until a new append arrives. Healing through
+/// this function — rather than calling `Link::set_up` directly — is what
+/// guarantees a group that went silent during the outage resumes draining.
+pub fn heal_link<S: HasStorage + 'static>(
+    state: &mut S,
+    sim: &mut Sim<S>,
+    link: tsuru_simnet::LinkId,
+) {
+    state.storage_mut().net.link_mut(link).set_up();
+    kick_all_pumps(state, sim);
+}
+
+/// Bring every link back up and restart every parked pump (cluster-wide
+/// heal after a full network partition).
+pub fn heal_all_links<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) {
+    state.storage_mut().net.heal_all();
+    kick_all_pumps(state, sim);
 }

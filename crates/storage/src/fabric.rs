@@ -30,7 +30,11 @@ pub enum GroupMode {
 pub enum SuspendReason {
     /// The primary journal filled and policy is `Suspend`.
     JournalFull,
-    /// The replication link went down (SDC).
+    /// A replication leg observed a dead link or a lost acknowledgement.
+    /// SDC legs suspend with this reason on any link failure; ADC groups
+    /// ride out data-link outages while staying `Active` (the transfer
+    /// pump parks and resumes on heal), so for ADC this reason only
+    /// appears via reverse-path acknowledgement loss handling.
     LinkDown,
     /// An operator suspended the group.
     Operator,
@@ -50,6 +54,34 @@ pub enum GroupState {
     },
     /// Failover executed; secondaries are promoted and writable.
     Promoted,
+}
+
+impl GroupState {
+    /// Is `next` a legal successor of `self` in the group lifecycle?
+    ///
+    /// Observations are coarse (an auditor samples states, it does not see
+    /// every internal step), so staying in the same variant is always
+    /// legal. `Promoted` is terminal: once a failover has promoted the
+    /// secondaries, a group can never silently return to replication —
+    /// re-protection requires tearing the group down and resyncing.
+    pub fn can_transition_to(self, next: GroupState) -> bool {
+        match (self, next) {
+            (GroupState::Promoted, GroupState::Promoted) => true,
+            (GroupState::Promoted, _) => false,
+            // Active ⇄ Suspended in either direction (suspend / resync),
+            // and either may be promoted by a failover.
+            _ => true,
+        }
+    }
+
+    /// Assert that `self → next` is a legal transition (auditor helper).
+    #[track_caller]
+    pub fn assert_transition(self, next: GroupState) {
+        assert!(
+            self.can_transition_to(next),
+            "illegal group state transition {self:?} -> {next:?}"
+        );
+    }
 }
 
 /// One primary→secondary volume relationship.
@@ -289,6 +321,28 @@ mod tests {
 
     fn volref(a: u32, v: u64) -> VolRef {
         VolRef::new(ArrayId(a), VolumeId(v))
+    }
+
+    #[test]
+    fn group_state_transition_legality() {
+        let susp = GroupState::Suspended {
+            since: SimTime::ZERO,
+            reason: SuspendReason::Operator,
+        };
+        assert!(GroupState::Active.can_transition_to(susp));
+        assert!(susp.can_transition_to(GroupState::Active));
+        assert!(GroupState::Active.can_transition_to(GroupState::Promoted));
+        assert!(susp.can_transition_to(GroupState::Promoted));
+        assert!(GroupState::Promoted.can_transition_to(GroupState::Promoted));
+        assert!(!GroupState::Promoted.can_transition_to(GroupState::Active));
+        assert!(!GroupState::Promoted.can_transition_to(susp));
+        GroupState::Active.assert_transition(susp);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal group state transition")]
+    fn promoted_group_cannot_reactivate() {
+        GroupState::Promoted.assert_transition(GroupState::Active);
     }
 
     fn make_group(fabric: &mut ReplicationFabric, mode: GroupMode) -> GroupId {

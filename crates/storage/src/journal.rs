@@ -90,6 +90,13 @@ impl Journal {
         self.capacity_bytes
     }
 
+    /// Change the capacity mid-run (fault injection: journal-pressure
+    /// squeeze). Entries already held are never discarded, even if they
+    /// exceed the new capacity; only new appends observe the squeeze.
+    pub fn set_capacity_bytes(&mut self, capacity_bytes: u64) {
+        self.capacity_bytes = capacity_bytes;
+    }
+
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -42,7 +42,9 @@ pub use block::{
 };
 pub use config::{EngineConfig, JournalFullPolicy};
 pub use device::{BlockDevice, BlockDeviceMut, MemDevice, SnapshotView, VolumeView};
-pub use engine::{host_read, host_read_snapshot, host_write, kick_all_pumps, WriteAck};
+pub use engine::{
+    heal_all_links, heal_link, host_read, host_read_snapshot, host_write, kick_all_pumps, WriteAck,
+};
 pub use fabric::{
     Group, GroupMode, GroupState, GroupStats, Pair, ReplicationFabric, SuspendReason,
 };

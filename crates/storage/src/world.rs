@@ -27,6 +27,9 @@ pub struct WorldStats {
     pub failed_writes: u64,
     /// Host write attempts stalled by a full journal (Block policy).
     pub journal_stall_retries: u64,
+    /// Host write attempts parked because an earlier write to the same
+    /// volume had not applied yet (per-volume ordering gate).
+    pub write_order_waits: u64,
 }
 
 /// Access to the storage world from an arbitrary simulation state type.
@@ -102,6 +105,11 @@ pub struct StorageWorld {
     pub ack_log: AckLog,
     /// Counters.
     pub stats: WorldStats,
+    /// Per-volume host-write ordering: `(next_ticket, turn)`. A write takes
+    /// a ticket at submission and may only apply when its ticket equals the
+    /// volume's turn, so a stalled write can never be overtaken by a later
+    /// one (tail-block rewrites would otherwise go back in time).
+    write_order: BTreeMap<VolRef, (u64, u64)>,
     rng: DetRng,
     control_time: SimTime,
 }
@@ -116,6 +124,7 @@ impl StorageWorld {
             fabric: ReplicationFabric::new(),
             ack_log: AckLog::new(),
             stats: WorldStats::default(),
+            write_order: BTreeMap::new(),
             rng: DetRng::new(seed),
             control_time: SimTime::ZERO,
         }
@@ -630,6 +639,28 @@ impl StorageWorld {
     /// Check whether a host write may proceed.
     pub(crate) fn check_host_write(&mut self, vol: VolRef, lba: u64) -> Result<(), WriteError> {
         self.arrays[vol.array.0 as usize].check_host_write(vol.volume, lba)
+    }
+
+    /// Take the next per-volume issue ticket for an admitted host write.
+    pub(crate) fn issue_write_ticket(&mut self, vol: VolRef) -> u64 {
+        let slot = self.write_order.entry(vol).or_insert((0, 0));
+        let ticket = slot.0;
+        slot.0 += 1;
+        ticket
+    }
+
+    /// True iff `ticket` is the oldest host write to `vol` still pending
+    /// its apply/reject decision.
+    pub(crate) fn is_write_turn(&self, vol: VolRef, ticket: u64) -> bool {
+        self.write_order.get(&vol).map(|s| s.1) == Some(ticket)
+    }
+
+    /// Retire the volume's current turn holder once it has applied (or been
+    /// rejected), unblocking the next ticket.
+    pub(crate) fn retire_write_ticket(&mut self, vol: VolRef) {
+        if let Some(slot) = self.write_order.get_mut(&vol) {
+            slot.1 += 1;
+        }
     }
 
     /// Offer a frame on a link.

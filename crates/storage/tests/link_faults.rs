@@ -1,0 +1,210 @@
+//! Link-fault regression tests: parked transfer pumps across indefinite
+//! outages, and lossy/flapping links never reordering journal apply.
+//!
+//! These cover the two seams the chaos engine leans on hardest:
+//!
+//! - `TransferOutcome::Down(None)` parks the transfer pump, and only a new
+//!   append or an explicit kick restarts it — every heal path must go
+//!   through [`heal_link`]/[`heal_all_links`] or a silent group stays
+//!   silent forever;
+//! - random frame loss and scheduled outages force retransmissions, which
+//!   must never let a later journal entry overtake an earlier one (the
+//!   backup journal asserts contiguous sequence numbers on arrival).
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+use tsuru_sim::{Sim, SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+use tsuru_storage::engine::{heal_link, host_write};
+use tsuru_storage::{
+    block_from, ArrayPerf, EngineConfig, GroupId, HasStorage, StorageWorld, VolRef,
+};
+
+struct World {
+    st: StorageWorld,
+}
+
+impl HasStorage for World {
+    fn storage(&self) -> &StorageWorld {
+        &self.st
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        &mut self.st
+    }
+}
+
+struct Rig {
+    world: World,
+    sim: Sim<World>,
+    group: GroupId,
+    link: tsuru_simnet::LinkId,
+    primaries: Vec<VolRef>,
+}
+
+/// Two arrays, one ADC consistency group with two pairs over `link_cfg`.
+fn rig(seed: u64, config: EngineConfig, link_cfg: LinkConfig) -> Rig {
+    let mut st = StorageWorld::new(seed, config);
+    let main = st.add_array("vsp-main", ArrayPerf::default());
+    let backup = st.add_array("vsp-backup", ArrayPerf::default());
+    let link = st.add_link(link_cfg);
+    let reverse = st.add_link(LinkConfig::metro());
+    let group = st.create_adc_group("g", link, reverse, 1 << 24);
+    let mut primaries = Vec::new();
+    for i in 0..2u64 {
+        let p = st.create_volume(main, &format!("p{i}"), 64);
+        let s = st.create_volume(backup, &format!("s{i}"), 64);
+        st.add_pair(group, p, s);
+        primaries.push(p);
+    }
+    Rig {
+        world: World { st },
+        sim: Sim::new(),
+        group,
+        link,
+        primaries,
+    }
+}
+
+fn write_at(sim: &mut Sim<World>, at: SimTime, vol: VolRef, lba: u64, tag: u64) {
+    sim.schedule_at(at, move |w: &mut World, sim| {
+        host_write(w, sim, vol, lba, block_from(&tag.to_le_bytes()), |_, _, _| {});
+    });
+}
+
+fn assert_group_consistent(r: &Rig) {
+    let report = r.world.st.verify_consistency(&[r.group]);
+    assert!(
+        report.prefix.consistent,
+        "prefix violations: {:?}",
+        report.prefix.violations
+    );
+    assert!(
+        report.content_mismatches.is_empty(),
+        "content mismatches: {:?}",
+        report.content_mismatches
+    );
+}
+
+/// Regression for the parked-pump path: a group that goes completely
+/// silent during an indefinite outage (no further appends) must resume
+/// draining when the link heals — `heal_link` kicks the parked pump.
+#[test]
+fn silent_group_resumes_after_indefinite_outage_heal() {
+    let mut r = rig(7, EngineConfig::default(), LinkConfig::metro());
+    let [p0, p1] = [r.primaries[0], r.primaries[1]];
+
+    // A few replicated writes, fully drained.
+    for i in 0..4 {
+        write_at(&mut r.sim, SimTime::from_millis(i), p0, i, 100 + i);
+        write_at(&mut r.sim, SimTime::from_millis(i), p1, i, 200 + i);
+    }
+    r.sim.run_until(&mut r.world, SimTime::from_millis(20));
+
+    // Indefinite partition, then more writes while down. The transfer
+    // pump observes Down(None) and parks; after the last ack the group is
+    // silent.
+    let now = r.sim.now();
+    r.world.st.net.link_mut(r.link).set_down(now, None);
+    for i in 4..8 {
+        write_at(&mut r.sim, SimTime::from_millis(16 + i), p0, i, 100 + i);
+        write_at(&mut r.sim, SimTime::from_millis(16 + i), p1, i, 200 + i);
+    }
+    r.sim.run_until(&mut r.world, SimTime::from_millis(200));
+    assert_eq!(r.sim.pending(), 0, "group should be fully silent (parked)");
+
+    let g = r.world.st.fabric.group(r.group);
+    assert!(!g.pump_scheduled, "pump must be parked during the outage");
+    let jnl = r.world.st.fabric.journal(g.primary_jnl.unwrap());
+    assert!(
+        !jnl.peek_unsent(1, u64::MAX).is_empty(),
+        "outage-era writes must be stuck in the primary journal"
+    );
+
+    // Heal through the public API: link up + kick. The backlog drains with
+    // no new appends needed.
+    heal_link(&mut r.world, &mut r.sim, r.link);
+    r.sim.run(&mut r.world);
+
+    let jnl = r.world.st.fabric.journal(
+        r.world.st.fabric.group(r.group).primary_jnl.unwrap(),
+    );
+    assert!(jnl.is_empty(), "journal must drain after heal");
+    assert_group_consistent(&r);
+    for i in 0..8u64 {
+        assert_eq!(
+            &r.world.st.read_direct(r.primaries[0], i).unwrap()[..8],
+            &(100 + i).to_le_bytes(),
+        );
+    }
+}
+
+/// Without the kick a parked pump really does stay parked — this pins the
+/// hazard the heal API exists to fix (and documents why `Link::set_up`
+/// alone is not a heal).
+#[test]
+fn set_up_alone_leaves_pump_parked() {
+    let mut r = rig(8, EngineConfig::default(), LinkConfig::metro());
+    let p0 = r.primaries[0];
+    write_at(&mut r.sim, SimTime::ZERO, p0, 0, 1);
+    r.sim.run_until(&mut r.world, SimTime::from_millis(20));
+    let now = r.sim.now();
+    r.world.st.net.link_mut(r.link).set_down(now, None);
+    write_at(&mut r.sim, SimTime::from_millis(21), p0, 1, 2);
+    r.sim.run_until(&mut r.world, SimTime::from_millis(200));
+
+    r.world.st.net.link_mut(r.link).set_up();
+    r.sim.run(&mut r.world);
+    let g = r.world.st.fabric.group(r.group);
+    assert!(
+        !r.world
+            .st
+            .fabric
+            .journal(g.primary_jnl.unwrap())
+            .is_empty(),
+        "set_up without a kick must leave the backlog stuck (parked pump)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random frame loss plus a scheduled mid-run outage: retransmitted
+    /// frames must never reorder journal apply (the backup journal panics
+    /// on any out-of-order arrival), and the backup converges to an exact
+    /// consistent copy once the backlog drains.
+    #[test]
+    fn lossy_flapping_link_never_reorders_apply(
+        seed in 0u64..64,
+        loss in 0.0f64..0.4,
+        outage_at_ms in 2u64..20,
+        outage_len_ms in 1u64..30,
+    ) {
+        let mut link_cfg = LinkConfig::wan_lossy();
+        link_cfg.loss_probability = loss;
+        let mut r = rig(seed, EngineConfig::default(), link_cfg);
+        let [p0, p1] = [r.primaries[0], r.primaries[1]];
+
+        for i in 0..24u64 {
+            write_at(&mut r.sim, SimTime::from_micros(i * 700), p0, i % 8, 1000 + i);
+            write_at(&mut r.sim, SimTime::from_micros(i * 700 + 350), p1, i % 8, 2000 + i);
+        }
+        // Scheduled outage with an auto-expiring end: Down(Some) paths
+        // retry at the advertised up instant, no manual heal needed.
+        let start = SimTime::from_millis(outage_at_ms);
+        let end = start + SimDuration::from_millis(outage_len_ms);
+        r.sim.schedule_at(start, move |w: &mut World, _| {
+            let link = w.st.fabric.group(GroupId(0)).link;
+            w.st.net.link_mut(link).set_down(start, Some(end));
+        });
+
+        r.sim.run(&mut r.world);
+
+        let g = r.world.st.fabric.group(r.group);
+        prop_assert!(r.world.st.fabric.journal(g.primary_jnl.unwrap()).is_empty());
+        prop_assert!(r.world.st.fabric.journal(g.secondary_jnl.unwrap()).is_empty());
+        let report = r.world.st.verify_consistency(&[r.group]);
+        prop_assert!(report.prefix.consistent, "{:?}", report.prefix.violations);
+        prop_assert!(report.content_mismatches.is_empty(), "{:?}", report.content_mismatches);
+    }
+}

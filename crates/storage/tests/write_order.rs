@@ -1,0 +1,104 @@
+//! Regression: journal-full stall retries must not reorder host writes.
+//!
+//! Under the Block policy a stalled write re-attempts `persist` on its own
+//! retry timer. Before the per-volume ordering gate, two stalled writes to
+//! the same LBA could apply in retry-phase order rather than issue order
+//! when the journal freed up, so the *older* content could land last. For
+//! a database WAL, whose tail block is rewritten by every commit, that
+//! rolls the tail back in time and permanently truncates the record
+//! stream — the chaos auditor caught this as a stale recovered database.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tsuru_sim::{Sim, SimDuration, SimTime};
+use tsuru_simnet::LinkConfig;
+use tsuru_storage::engine::host_write;
+use tsuru_storage::{
+    block_from, ArrayPerf, EngineConfig, HasStorage, StorageWorld, VolRef,
+};
+
+struct World {
+    st: StorageWorld,
+}
+
+impl HasStorage for World {
+    fn storage(&self) -> &StorageWorld {
+        &self.st
+    }
+    fn storage_mut(&mut self) -> &mut StorageWorld {
+        &mut self.st
+    }
+}
+
+/// Two same-LBA writes stall on a squeezed journal with retry phases
+/// arranged so the *second* write's retry fires first after the squeeze
+/// heals. The volume must still end up holding the second write's bytes.
+#[test]
+fn stalled_writes_apply_in_issue_order() {
+    let mut st = StorageWorld::new(3, EngineConfig::default());
+    let main = st.add_array("vsp-main", ArrayPerf::default());
+    let backup = st.add_array("vsp-backup", ArrayPerf::default());
+    let link = st.add_link(LinkConfig::metro());
+    let reverse = st.add_link(LinkConfig::metro());
+    let group = st.create_adc_group("g", link, reverse, 1 << 24);
+    let p = st.create_volume(main, "p", 16);
+    let s = st.create_volume(backup, "s", 16);
+    st.add_pair(group, p, s);
+
+    // Squeeze the journal so every append stalls (Block policy).
+    let jid = st.fabric.group(group).primary_jnl.unwrap();
+    st.fabric.journal_mut(jid).set_capacity_bytes(64);
+
+    let mut world = World { st };
+    let mut sim: Sim<World> = Sim::new();
+
+    // write_service = 100 µs, stall retry = 200 µs. Issue order: OLD then
+    // NEW. Service completes at 100 µs / 200 µs, so the retry grids are
+    // OLD @ {300, 500, …} and NEW @ {400, 600, …}.
+    let acked = Rc::new(Cell::new(0u32));
+    for (at, tag) in [(SimTime::ZERO, 0xDEAD_0001u64), (SimTime::from_micros(1), 0xDEAD_0002)] {
+        let acked = Rc::clone(&acked);
+        sim.schedule_at(at, move |w: &mut World, sim| {
+            host_write(w, sim, p, 0, block_from(&tag.to_le_bytes()), move |_, _, ack| {
+                assert!(ack.is_persisted(), "{ack:?}");
+                acked.set(acked.get() + 1);
+            });
+        });
+    }
+
+    // Heal between the two retry phases: the NEW write's retry at 400 µs
+    // finds space *before* the OLD write's retry at 500 µs.
+    sim.schedule_at(SimTime::from_micros(350), move |w: &mut World, _| {
+        w.st.fabric.journal_mut(jid).set_capacity_bytes(1 << 24);
+    });
+
+    sim.run(&mut world);
+
+    assert_eq!(acked.get(), 2, "both writes must eventually persist");
+    assert!(
+        world.st.stats.journal_stall_retries > 0,
+        "the squeeze must actually stall the writes"
+    );
+    assert!(
+        world.st.stats.write_order_waits > 0,
+        "the ordering gate must park the overtaking retry"
+    );
+    let newest = |vol: VolRef| {
+        let b = world.st.read_direct(vol, 0).unwrap();
+        u64::from_le_bytes(b[..8].try_into().unwrap())
+    };
+    assert_eq!(
+        newest(p),
+        0xDEAD_0002,
+        "primary must hold the later-issued write"
+    );
+    let report = world.st.verify_consistency(&[group]);
+    assert!(report.prefix.consistent, "{:?}", report.prefix.violations);
+    assert!(
+        report.content_mismatches.is_empty(),
+        "{:?}",
+        report.content_mismatches
+    );
+    assert_eq!(newest(s), 0xDEAD_0002, "backup must converge to the same bytes");
+}
