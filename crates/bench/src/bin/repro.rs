@@ -7,6 +7,7 @@
 //! cargo run -p tsuru-bench --release --bin repro e1 e5     # a subset
 //! cargo run -p tsuru-bench --release --bin repro e2 --threads 8
 //! cargo run -p tsuru-bench --release --bin repro --chaos    # chaos sweep (E8)
+//! cargo run -p tsuru-bench --release --bin repro trace      # traced chaos trials
 //! ```
 //!
 //! `--threads N` sets the trial-harness worker count for the multi-trial
@@ -15,12 +16,17 @@
 //! are **byte-identical at any thread count** — trials are seeded purely
 //! from `(base_seed, trial_index)` and re-sorted by index. Wall-clock
 //! stats (`[harness] …`) go to stderr so stdout stays comparable.
+//!
+//! `--trace DIR` writes causal trace exports (JSONL + Chrome
+//! `trace_event`) under `DIR`: a representative traced rig run alongside
+//! the experiments, per-trial chaos traces with `chaos`/`trace`. The
+//! `trace` subcommand runs traced chaos trials and always exports.
 
 #![forbid(unsafe_code)]
 
 use std::env;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use tsuru_bench::{
     render_a1, render_a2, render_e1, render_e2, render_e3, render_e4, render_e5, render_e7,
@@ -29,13 +35,84 @@ use tsuru_core::experiments::{
     a1_backup_lag_with, a2_journal_policy_with, e1_slowdown_with, e2_collapse_with, e3_rpo_with,
     e4_snapshot, e5_operator, e6_demo, e7_three_dc,
 };
-use tsuru_chaos::{chaos_sweep, render_chaos_table, ChaosConfig};
-use tsuru_core::{HarnessStats, TrialHarness};
+use tsuru_chaos::{
+    chaos_sweep, render_chaos_table, run_chaos_trial_traced, ChaosConfig, FaultPlan,
+};
+use tsuru_core::{BackupMode, HarnessStats, RigConfig, TrialHarness, TwoSiteRig};
 use tsuru_sim::SimDuration;
 
+/// Every command-line option, parsed once in `main` (single source of
+/// truth — no function re-scans `env::args`).
+struct Options {
+    /// Positional selectors: experiment names, `all`, `chaos`, `trace`.
+    names: Vec<String>,
+    /// `--chaos` (alias for the `chaos` selector).
+    chaos: bool,
+    /// `--csv`: also write each table under `repro_out/`.
+    csv: bool,
+    /// `--threads N` / `--threads=N`; `0` = one worker per CPU.
+    threads: usize,
+    /// `--trace DIR` / `--trace=DIR`: write trace exports under `DIR`.
+    trace_dir: Option<PathBuf>,
+}
+
+impl Options {
+    /// Parse from an iterator over the raw arguments (program name
+    /// already skipped). Unknown `--flags` are ignored, as before.
+    fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options {
+            names: Vec::new(),
+            chaos: false,
+            csv: false,
+            threads: 0,
+            trace_dir: None,
+        };
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if a == "--chaos" {
+                opts.chaos = true;
+            } else if a == "--csv" {
+                opts.csv = true;
+            } else if a == "--threads" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    opts.threads = n;
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                if let Ok(n) = v.parse() {
+                    opts.threads = n;
+                }
+            } else if a == "--trace" {
+                if let Some(dir) = args.get(i + 1) {
+                    opts.trace_dir = Some(PathBuf::from(dir));
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--trace=") {
+                opts.trace_dir = Some(PathBuf::from(v));
+            } else if !a.starts_with("--") {
+                opts.names.push(a.clone());
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// No selector at all ⇒ run every default experiment; `all` forces it.
+    /// `chaos` and `trace` are opt-in and never part of the default set.
+    fn all(&self) -> bool {
+        self.names.iter().any(|n| n == "all") || (self.names.is_empty() && !self.chaos)
+    }
+
+    fn want(&self, name: &str) -> bool {
+        self.all() || self.names.iter().any(|n| n == name)
+    }
+}
+
 /// When `--csv` is passed, tables are also written under `repro_out/`.
-fn maybe_csv(name: &str, table: &str) {
-    if std::env::args().any(|a| a == "--csv") {
+fn maybe_csv(opts: &Options, name: &str, table: &str) {
+    if opts.csv {
         let dir = Path::new("repro_out");
         let _ = fs::create_dir_all(dir);
         let path = dir.join(format!("{name}.csv"));
@@ -45,75 +122,57 @@ fn maybe_csv(name: &str, table: &str) {
     }
 }
 
-/// `--threads N` / `--threads=N`; `0` (default) = available parallelism.
-fn threads_arg() -> usize {
-    let args: Vec<String> = env::args().collect();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--threads" {
-            if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
-                return n;
-            }
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            if let Some(n) = v.parse().ok() {
-                return n;
-            }
-        }
-    }
-    0
-}
-
 /// Wall-clock stats go to stderr so stdout is identical at any `--threads`.
 fn report(label: &str, stats: &HarnessStats) {
     eprintln!("[harness] {label}: {}", stats.display());
 }
 
-fn run_e1(harness: &TrialHarness) {
+fn run_e1(harness: &TrialHarness, opts: &Options) {
     println!("== E1: no system slowdown (claim C1) — latency/throughput vs backup mode ==");
     println!("   closed-loop order workload, 8 clients; link 1 Gbit/s; 400 ms simulated\n");
     let set = e1_slowdown_with(harness, 42, &[1, 2, 10, 25, 50], SimDuration::from_millis(400));
     report("e1", &set.stats);
     let table = render_e1(&set.rows);
     println!("{table}");
-    maybe_csv("e1", &table);
+    maybe_csv(opts, "e1", &table);
     println!("expect: adc-cg ≈ none at every RTT; sdc p50 ≳ 2×RTT and tps collapses.\n");
 }
 
-fn run_e2(harness: &TrialHarness) {
+fn run_e2(harness: &TrialHarness, opts: &Options) {
     println!("== E2: backup collapse (claims C2/C3) — consistency group vs naive ADC ==");
     println!("   30 surprise-failure drills per mode; 2 ms replication-session skew\n");
     let set = e2_collapse_with(harness, 1000, 30, SimDuration::from_millis(2));
     report("e2", &set.stats);
     let table = render_e2(&set.rows);
     println!("{table}");
-    maybe_csv("e2", &table);
+    maybe_csv(opts, "e2", &table);
     println!(
         "expect: adc-cg collapses 0/30 (both checks); adc-naive violates write-order\n\
          fidelity in nearly every drill and corrupts the business state in many.\n"
     );
 }
 
-fn run_e3(harness: &TrialHarness) {
+fn run_e3(harness: &TrialHarness, opts: &Options) {
     println!("== E3: recovery point vs link bandwidth and journal capacity (§III-A1) ==");
     println!("   main-site failure at t=150 ms; ADC journal Block policy; SDC reference\n");
     let set = e3_rpo_with(harness, 7, &[50, 100, 500, 1000], &[1, 64]);
     report("e3", &set.stats);
     let table = render_e3(&set.rows);
     println!("{table}");
-    maybe_csv("e3", &table);
+    maybe_csv(opts, "e3", &table);
     println!(
         "expect: lost orders and RPO shrink as bandwidth grows; a tiny journal on a\n\
          slow link stalls the host (stalls > 0, p99 inflated); sdc loses nothing.\n"
     );
 }
 
-fn run_e4() {
+fn run_e4(opts: &Options) {
     println!("== E4: snapshot groups make backup data usable (§III-A2, Figs. 5–6) ==");
     println!("   snapshots taken at the backup site at t=150 ms, workload continues\n");
     let rows = e4_snapshot(11);
     let table = render_e4(&rows);
     println!("{table}");
-    maybe_csv("e4", &table);
+    maybe_csv(opts, "e4", &table);
     println!(
         "expect: the atomic group snapshot yields a consistent analytics image while\n\
          replication keeps running (cow_saves > 0); non-atomic per-volume snapshots\n\
@@ -121,13 +180,13 @@ fn run_e4() {
     );
 }
 
-fn run_e5() {
+fn run_e5(opts: &Options) {
     println!("== E5: namespace-operator automation (§III-B1, Figs. 3–4) ==");
     println!("   tag one namespace; measure configuration effort as volumes scale\n");
     let rows = e5_operator(&[2, 4, 10, 50, 100, 200]);
     let table = render_e5(&rows);
     println!("{table}");
-    maybe_csv("e5", &table);
+    maybe_csv(opts, "e5", &table);
     println!(
         "expect: with the operator the user performs exactly 1 action at any scale;\n\
          the manual procedure grows linearly (4 + 3·volumes console steps).\n"
@@ -154,13 +213,13 @@ fn run_e6() {
     println!("expect: consistent failover, recovered business process, bounded loss.\n");
 }
 
-fn run_e7() {
+fn run_e7(opts: &Options) {
     println!("== E7 (extension): three-data-centre — metro SDC + WAN ADC combined ==");
     println!("   far link 25 ms one way; metro link 1 ms; disaster at t=200 ms\n");
     let rows = e7_three_dc(29);
     let table = render_e7(&rows);
     println!("{table}");
-    maybe_csv("e7", &table);
+    maybe_csv(opts, "e7", &table);
     println!(
         "expect: 3dc latency ≈ metro SDC (~2 ms), far below WAN SDC (~50 ms); its\n\
          metro copy loses nothing while the far copy stays a consistent prefix —\n\
@@ -168,7 +227,7 @@ fn run_e7() {
     );
 }
 
-fn run_chaos(harness: &TrialHarness) {
+fn run_chaos(harness: &TrialHarness, opts: &Options) {
     println!("== E8 (extension): deterministic chaos sweep — CG vs naive under fault ==");
     println!("   seeded random plans, core quartet overlapping ≥4 fault kinds; each plan");
     println!("   replayed against both backup modes and audited at every fault edge\n");
@@ -177,7 +236,7 @@ fn run_chaos(harness: &TrialHarness) {
     report("chaos", &set.stats);
     let table = render_chaos_table(&set.rows);
     println!("{table}");
-    maybe_csv("chaos", &table);
+    maybe_csv(opts, "chaos", &table);
     println!("-- auditor reports --");
     for pair in &set.rows {
         print!("{}", pair.cg.render());
@@ -188,79 +247,161 @@ fn run_chaos(harness: &TrialHarness) {
          violating write-order fidelity mid-fault. Reports are byte-identical for a\n\
          given seed at any --threads value.\n"
     );
+    if let Some(dir) = &opts.trace_dir {
+        write_traced_chaos_trials(harness, dir, 1);
+    }
 }
 
-fn run_a1(harness: &TrialHarness) {
+/// The `trace` subcommand: replay seeded chaos plans with the causal
+/// tracer on and export each trial's trace (JSONL + Chrome
+/// `trace_event`). Exports are byte-identical at any `--threads` value.
+fn run_trace(harness: &TrialHarness, opts: &Options) {
+    println!("== trace: traced chaos trials — causal write-lifecycle spans ==");
+    println!("   fault spans stamp concurrent write lifecycles; load the .chrome.json");
+    println!("   files in chrome://tracing or https://ui.perfetto.dev\n");
+    let dir = opts
+        .trace_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("repro_out"));
+    write_traced_chaos_trials(harness, &dir, 2);
+}
+
+/// Run `trials` traced consistency-group chaos trials through the
+/// harness and write per-trial exports under `dir`.
+fn write_traced_chaos_trials(harness: &TrialHarness, dir: &Path, trials: usize) {
+    let cfg = ChaosConfig::default();
+    let set = harness.run(0xC0FFEE, trials, |ctx| {
+        let plan = FaultPlan::random(ctx.seed, cfg.horizon);
+        run_chaos_trial_traced(ctx.seed, BackupMode::AdcConsistencyGroup, &plan, &cfg)
+    });
+    report("trace", &set.stats);
+    let _ = fs::create_dir_all(dir);
+    for (i, (rep, export)) in set.rows.iter().enumerate() {
+        print!("{}", rep.render());
+        let spans = export.jsonl.lines().count();
+        let jsonl = dir.join(format!("trace_t{i}_cg.jsonl"));
+        let chrome = dir.join(format!("trace_t{i}_cg.chrome.json"));
+        match (
+            fs::write(&jsonl, &export.jsonl),
+            fs::write(&chrome, &export.chrome),
+        ) {
+            (Ok(()), Ok(())) => println!(
+                "  trial {i}: {spans} records -> {} / {}",
+                jsonl.display(),
+                chrome.display()
+            ),
+            _ => eprintln!("  trial {i}: failed to write exports under {}", dir.display()),
+        }
+    }
+    println!();
+}
+
+/// `--trace DIR` alongside the experiments: export one representative
+/// traced run of the paper rig (ADC consistency group, default workload)
+/// so the write lifecycle can be inspected without a chaos plan.
+fn write_rig_trace(dir: &Path) {
+    let cfg = RigConfig {
+        trace: true,
+        ..RigConfig::default()
+    };
+    let mut rig = TwoSiteRig::new(cfg);
+    rig.run_workload_for(SimDuration::from_millis(50));
+    let tracer = rig.world.st.tracer.clone();
+    let _ = fs::create_dir_all(dir);
+    let jsonl = dir.join("trace_rig.jsonl");
+    let chrome = dir.join("trace_rig.chrome.json");
+    match (
+        fs::write(&jsonl, tracer.export_jsonl()),
+        fs::write(&chrome, tracer.export_chrome()),
+    ) {
+        (Ok(()), Ok(())) => println!(
+            "traced rig run: {} records -> {} / {}\n",
+            tracer.len(),
+            jsonl.display(),
+            chrome.display()
+        ),
+        _ => eprintln!("failed to write rig trace under {}\n", dir.display()),
+    }
+}
+
+fn main() {
+    let opts = Options::parse(env::args().skip(1));
+    let harness = TrialHarness::new(opts.threads);
+
+    println!("Tsuru experiment reproduction (see DESIGN.md §4, EXPERIMENTS.md)\n");
+    eprintln!("[harness] trial workers: {}", harness.threads());
+    if opts.want("e1") {
+        run_e1(&harness, &opts);
+    }
+    if opts.want("e2") {
+        run_e2(&harness, &opts);
+    }
+    if opts.want("e3") {
+        run_e3(&harness, &opts);
+    }
+    if opts.want("e4") {
+        run_e4(&opts);
+    }
+    if opts.want("e5") {
+        run_e5(&opts);
+    }
+    if opts.want("e6") {
+        run_e6();
+    }
+    if opts.want("e7") {
+        run_e7(&opts);
+    }
+    // Opt-in only (`repro chaos` or `repro --chaos`): a full sweep replays
+    // every plan twice, so it is not part of the default `all` set.
+    if opts.names.iter().any(|n| n == "chaos") || opts.chaos {
+        run_chaos(&harness, &opts);
+    }
+    if opts.names.iter().any(|n| n == "trace") {
+        run_trace(&harness, &opts);
+    }
+    if opts.want("a1") {
+        run_a1(&harness, &opts);
+    }
+    if opts.want("a2") {
+        run_a2(&harness, &opts);
+    }
+    // `--trace DIR` with experiments (not just chaos/trace): also export
+    // a representative traced rig run.
+    if let Some(dir) = opts.trace_dir.clone() {
+        let ran_experiments = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2"]
+            .iter()
+            .any(|e| opts.want(e));
+        if ran_experiments {
+            write_rig_trace(&dir);
+        }
+    }
+}
+
+fn run_a1(harness: &TrialHarness, opts: &Options) {
     println!("== A1 (ablation): backup lag vs transfer-pump parameters ==");
     println!("   acked-but-unapplied backlog sampled every 5 ms over a 300 ms run\n");
     let set = a1_backup_lag_with(harness, 19, &[200, 500, 2000, 5000], &[8, 64]);
     report("a1", &set.stats);
     let table = render_a1(&set.rows);
     println!("{table}");
-    maybe_csv("a1", &table);
+    maybe_csv(opts, "a1", &table);
     println!(
         "expect: lag grows with the pump interval (staleness is the price of\n\
          decoupling) while host p99 stays flat — the pump never touches the host path.\n"
     );
 }
 
-fn run_a2(harness: &TrialHarness) {
+fn run_a2(harness: &TrialHarness, opts: &Options) {
     println!("== A2 (ablation): journal-full policy — Block vs Suspend ==");
     println!("   undersized journal over a 20 Mbit/s link; failure at t=200 ms\n");
     let set = a2_journal_policy_with(harness, 23, &[256, 1024, 16384]);
     report("a2", &set.stats);
     let table = render_a2(&set.rows);
     println!("{table}");
-    maybe_csv("a2", &table);
+    maybe_csv(opts, "a2", &table);
     println!(
         "expect: Block back-pressures the host (stalls > 0, p99 up) but keeps the\n\
          backup advancing; Suspend keeps the host fast but abandons the backup\n\
          (degraded acks, far larger loss at failover).\n"
     );
-}
-
-fn main() {
-    let args: Vec<String> = env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let chaos_flag = env::args().any(|a| a == "--chaos");
-    let all = (args.is_empty() && !chaos_flag) || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
-    let harness = TrialHarness::new(threads_arg());
-
-    println!("Tsuru experiment reproduction (see DESIGN.md §4, EXPERIMENTS.md)\n");
-    eprintln!("[harness] trial workers: {}", harness.threads());
-    if want("e1") {
-        run_e1(&harness);
-    }
-    if want("e2") {
-        run_e2(&harness);
-    }
-    if want("e3") {
-        run_e3(&harness);
-    }
-    if want("e4") {
-        run_e4();
-    }
-    if want("e5") {
-        run_e5();
-    }
-    if want("e6") {
-        run_e6();
-    }
-    if want("e7") {
-        run_e7();
-    }
-    // Opt-in only (`repro chaos` or `repro --chaos`): a full sweep replays
-    // every plan twice, so it is not part of the default `all` set.
-    if args.iter().any(|a| a == "chaos") || chaos_flag {
-        run_chaos(&harness);
-    }
-    if want("a1") {
-        run_a1(&harness);
-    }
-    if want("a2") {
-        run_a2(&harness);
-    }
 }

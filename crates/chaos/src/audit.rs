@@ -31,7 +31,10 @@ use serde::{Deserialize, Serialize};
 use tsuru_core::TwoSiteRig;
 use tsuru_minidb::MiniDb;
 use tsuru_sim::SimTime;
-use tsuru_storage::{GroupId, GroupState, SnapshotId, SnapshotView};
+use tsuru_storage::{GroupId, GroupState, SnapshotId, SnapshotView, Tracer};
+
+/// How many trailing trace records the auditor attaches to a violation.
+const TRACE_WINDOW: usize = 8;
 
 /// One invariant violation, timestamped in simulated time.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +45,10 @@ pub struct Violation {
     pub invariant: &'static str,
     /// Human-readable specifics.
     pub detail: String,
+    /// Trailing window of the causal trace at observation time, rendered
+    /// one record per line with span ids (`#N`). Empty when the trial ran
+    /// without tracing.
+    pub trace: Vec<String>,
 }
 
 /// The auditor's verdict for one chaos trial.
@@ -84,6 +91,11 @@ impl ChaosReport {
         );
         for v in &self.violations {
             out.push_str(&format!("  {:>12} {:<22} {}\n", v.at.to_string(), v.invariant, v.detail));
+            // Trace lines only appear on traced trials, so untraced
+            // renders stay byte-identical to the pre-telemetry format.
+            for line in &v.trace {
+                out.push_str(&format!("      trace {line}\n"));
+            }
         }
         out
     }
@@ -95,6 +107,9 @@ pub struct Auditor {
     prev_states: BTreeMap<GroupId, GroupState>,
     /// Snapshot groups taken during fault windows, for the final audit.
     snapshots: Vec<(SimTime, Vec<SnapshotId>)>,
+    /// Handle on the rig's tracer: violations attach the trailing trace
+    /// window so a report references the span ids that led up to it.
+    tracer: Tracer,
     /// Audit points evaluated so far.
     pub audits: u64,
     /// Violations collected so far.
@@ -113,6 +128,7 @@ impl Auditor {
             groups: rig.groups.clone(),
             prev_states,
             snapshots: Vec::new(),
+            tracer: rig.world.st.tracer.clone(),
             audits: 0,
             violations: Vec::new(),
         }
@@ -123,11 +139,12 @@ impl Auditor {
         self.snapshots.push((at, snaps));
     }
 
-    fn violate(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+    pub(crate) fn violate(&mut self, at: SimTime, invariant: &'static str, detail: String) {
         self.violations.push(Violation {
             at,
             invariant,
             detail,
+            trace: self.tracer.tail(TRACE_WINDOW),
         });
     }
 

@@ -16,13 +16,15 @@
 //!   workload resumes (a database continuing from in-memory state would
 //!   leave a torn WAL tail on disk forever, poisoning later backups).
 
+use std::collections::BTreeMap;
+
 use tsuru_core::TwoSiteRig;
 use tsuru_ecom::driver::start_clients;
 use tsuru_ecom::DbInstance;
 use tsuru_minidb::MiniDb;
 use tsuru_simnet::{LinkConfig, LinkId};
 use tsuru_storage::engine::{heal_link, kick_all_pumps};
-use tsuru_storage::{JournalId, VolumeView};
+use tsuru_storage::{span_names, JournalId, SpanId, VolumeView};
 
 use crate::audit::Auditor;
 use crate::plan::{FaultEvent, FaultKind};
@@ -36,6 +38,10 @@ pub(crate) struct Injector {
     data_link: LinkId,
     orig_link: LinkConfig,
     orig_journal_caps: Vec<(JournalId, u64)>,
+    /// Open fault spans by kind (the generator schedules at most one event
+    /// per kind). While open, the tracer stamps every record with the
+    /// fault's span id, causally linking faults to write lifecycles.
+    fault_spans: BTreeMap<crate::plan::FaultKind, SpanId>,
 }
 
 impl Injector {
@@ -52,12 +58,27 @@ impl Injector {
             data_link,
             orig_link,
             orig_journal_caps,
+            fault_spans: BTreeMap::new(),
         }
     }
 
     /// Apply a fault start at the current sim instant.
     pub(crate) fn start(&mut self, rig: &mut TwoSiteRig, auditor: &mut Auditor, ev: &FaultEvent) {
         let now = rig.sim.now();
+        let tracer = rig.world.st.tracer.clone();
+        let kind = ev.kind.label();
+        if ev.kind == FaultKind::SnapshotDuringFault {
+            // Instantaneous: no window, nothing to stamp.
+            tracer.instant(span_names::FAULT, now, SpanId::NONE, || {
+                vec![("kind", kind.into())]
+            });
+        } else {
+            let span = tracer.span_start(span_names::FAULT, now, SpanId::NONE, || {
+                vec![("kind", kind.into())]
+            });
+            tracer.push_fault(span);
+            self.fault_spans.insert(ev.kind, span);
+        }
         match ev.kind {
             FaultKind::LinkFlap => {
                 rig.world
@@ -111,6 +132,16 @@ impl Injector {
 
     /// Apply the heal for `ev` at the current sim instant.
     pub(crate) fn heal(&mut self, rig: &mut TwoSiteRig, auditor: &mut Auditor, ev: &FaultEvent) {
+        // Close the fault window first: repair work triggered by the heal
+        // (pump kicks, resyncs) runs outside the fault's span.
+        if let Some(span) = self.fault_spans.remove(&ev.kind) {
+            let tracer = rig.world.st.tracer.clone();
+            let kind = ev.kind.label();
+            tracer.pop_fault(span);
+            tracer.span_end(span_names::FAULT, span, rig.sim.now(), || {
+                vec![("kind", kind.into())]
+            });
+        }
         match ev.kind {
             FaultKind::LinkFlap => {
                 // The outage end was scheduled; senders retry on their own.
@@ -219,11 +250,7 @@ impl Injector {
                 // its own site. Leave the app stopped.
                 for (name, r) in [("sales", sales), ("stock", stock)] {
                     if let Err(e) = r {
-                        auditor.violations.push(crate::audit::Violation {
-                            at: now,
-                            invariant: "primary-recovery-failed",
-                            detail: format!("{name}: {e:?}"),
-                        });
+                        auditor.violate(now, "primary-recovery-failed", format!("{name}: {e:?}"));
                     }
                 }
             }

@@ -36,5 +36,6 @@ mod run;
 pub use audit::{Auditor, ChaosReport, Violation};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use run::{
-    chaos_sweep, render_chaos_table, run_chaos_trial, shrink_plan, ChaosConfig, ChaosPair,
+    chaos_sweep, render_chaos_table, run_chaos_trial, run_chaos_trial_traced, shrink_plan,
+    ChaosConfig, ChaosPair, TraceExport,
 };

@@ -19,6 +19,10 @@ pub struct ChaosConfig {
     /// Client think time (denser than the default so fault windows see
     /// real write pressure).
     pub think_time: SimDuration,
+    /// Enable the causal tracer on the trial rig. Off by default so the
+    /// standard sweep stays byte-identical to untraced runs; traced
+    /// violations carry their trailing trace window.
+    pub trace: bool,
 }
 
 impl Default for ChaosConfig {
@@ -27,6 +31,7 @@ impl Default for ChaosConfig {
             horizon: SimTime::from_millis(150),
             sample_every: SimDuration::from_millis(5),
             think_time: SimDuration::from_millis(2),
+            trace: false,
         }
     }
 }
@@ -41,13 +46,52 @@ pub fn run_chaos_trial(
     plan: &FaultPlan,
     cfg: &ChaosConfig,
 ) -> ChaosReport {
+    run_trial_inner(seed, mode, plan, cfg).0
+}
+
+/// Exported trace artifacts for one traced chaos trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceExport {
+    /// One JSON object per trace record.
+    pub jsonl: String,
+    /// Chrome `trace_event` JSON (load in `chrome://tracing` or Perfetto).
+    pub chrome: String,
+}
+
+/// [`run_chaos_trial`] with the tracer forced on: returns the report
+/// (violations carry trace windows) plus the full trace exports. Output
+/// is byte-identical for identical inputs at any harness thread count.
+pub fn run_chaos_trial_traced(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+) -> (ChaosReport, TraceExport) {
+    let mut cfg = cfg.clone();
+    cfg.trace = true;
+    let (report, tracer) = run_trial_inner(seed, mode, plan, &cfg);
+    let export = TraceExport {
+        jsonl: tracer.export_jsonl(),
+        chrome: tracer.export_chrome(),
+    };
+    (report, export)
+}
+
+fn run_trial_inner(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+) -> (ChaosReport, tsuru_storage::Tracer) {
     let mut rig_cfg = RigConfig {
         seed,
         mode,
         ..RigConfig::default()
     };
     rig_cfg.workload.think_time_mean = cfg.think_time;
+    rig_cfg.trace = cfg.trace;
     let mut rig = TwoSiteRig::new(rig_cfg);
+    let tracer = rig.world.st.tracer.clone();
     let mut auditor = Auditor::new(&rig);
     let mut injector = Injector::new(&rig);
 
@@ -89,7 +133,7 @@ pub fn run_chaos_trial(
     rig.sim.run(&mut rig.world);
 
     let kinds = plan.kinds().iter().map(|s| s.to_string()).collect();
-    auditor.finish(&rig, seed, kinds, plan.events.len())
+    (auditor.finish(&rig, seed, kinds, plan.events.len()), tracer)
 }
 
 /// One trial's paired verdict: the same plan against the paper's design

@@ -278,7 +278,7 @@ pub fn e3_rpo_with(
             committed_orders: committed,
             lost_orders: lost,
             rpo_ms: rpo.rpo.as_nanos() as f64 / 1e6,
-            journal_stalls: rig.world.st.stats.journal_stall_retries,
+            journal_stalls: rig.world.st.metrics.counter(tsuru_storage::metric_names::JOURNAL_STALL_RETRIES),
             p99_ms: s.p99 as f64 / 1e6,
         }
     })
@@ -740,7 +740,7 @@ pub fn a2_journal_policy_with(
             journal_kib: kib,
             committed,
             p99_ms: rig.latency_summary().p99 as f64 / 1e6,
-            stalls: rig.world.st.stats.journal_stall_retries,
+            stalls: rig.world.st.metrics.counter(tsuru_storage::metric_names::JOURNAL_STALL_RETRIES),
             degraded_acks: rig.world.app().metrics.degraded_acks,
             lost_orders: outcome.orders.map(|o| o.lost).unwrap_or(committed),
         }

@@ -78,6 +78,11 @@ pub struct RigConfig {
     pub workload: WorkloadConfig,
     /// Database geometry.
     pub db: DbConfig,
+    /// Install an enabled [`tsuru_storage::Tracer`] on the world, turning
+    /// on span recording and metrics time-series sampling. Off by default:
+    /// the disabled tracer keeps the hot path allocation-free and all
+    /// experiment outputs byte-identical to untraced runs.
+    pub trace: bool,
 }
 
 impl Default for RigConfig {
@@ -99,6 +104,7 @@ impl Default for RigConfig {
                 wal_blocks: 1024,
                 checkpoint_threshold: 0.8,
             },
+            trace: false,
         }
     }
 }
@@ -274,6 +280,11 @@ impl TwoSiteRig {
         };
         let mut world = DemoWorld::new(st);
         world.install_app(app);
+        // Installed after construction: formatting and seeding above go
+        // through write_direct and must not appear in the trace.
+        if config.trace {
+            world.st.set_tracer(tsuru_storage::Tracer::enabled());
+        }
 
         TwoSiteRig {
             world,

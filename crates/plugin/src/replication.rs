@@ -138,6 +138,11 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
     }
 
     fn reconcile(&mut self, api: &mut ApiServer, st: &mut StorageWorld) {
+        let t = st.control_time();
+        st.tracer
+            .instant(tsuru_storage::span_names::RECONCILE, t, tsuru_storage::SpanId::NONE, || {
+                vec![("plugin", "replication-plugin".into())]
+            });
         // --- adopt handles persisted by a previous incarnation ------------
         // After a controller restart the in-memory maps are empty, but the
         // array handles written into CR status survive. Re-adopting them
@@ -336,6 +341,11 @@ impl Reconciler<StorageWorld> for BackupSiteImporter {
     }
 
     fn reconcile(&mut self, api: &mut ApiServer, st: &mut StorageWorld) {
+        let t = st.control_time();
+        st.tracer
+            .instant(tsuru_storage::span_names::RECONCILE, t, tsuru_storage::SpanId::NONE, || {
+                vec![("plugin", "backup-site-importer".into())]
+            });
         // Active pairs targeting our array, keyed by the claim key embedded
         // in the secondary volume's name.
         let mut live: Vec<(String, VolRef, u64)> = Vec::new();

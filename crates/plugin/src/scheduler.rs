@@ -65,6 +65,10 @@ impl Reconciler<StorageWorld> for SnapshotScheduler {
 
     fn reconcile(&mut self, api: &mut ApiServer, st: &mut StorageWorld) {
         let now = st.control_time();
+        st.tracer
+            .instant(tsuru_storage::span_names::RECONCILE, now, tsuru_storage::SpanId::NONE, || {
+                vec![("plugin", "snapshot-scheduler".into())]
+            });
         // Take a new generation when due.
         if now >= self.next_due {
             let name = Self::generation_name(self.counter);

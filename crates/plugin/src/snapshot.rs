@@ -47,6 +47,10 @@ impl Reconciler<StorageWorld> for SnapshotPlugin {
 
     fn reconcile(&mut self, api: &mut ApiServer, st: &mut StorageWorld) {
         let now = st.control_time();
+        st.tracer
+            .instant(tsuru_storage::span_names::RECONCILE, now, tsuru_storage::SpanId::NONE, || {
+                vec![("plugin", "snapshot-plugin".into())]
+            });
 
         // Single snapshots.
         let pending: Vec<(String, String, Option<String>)> = api

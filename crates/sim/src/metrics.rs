@@ -12,6 +12,9 @@ const SUB_BUCKET_BITS: u32 = 5; // 32 linear sub-buckets per power of two
 const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
 
 /// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Quantile readout reports the bucket lower bound, except the top
+/// quantile (`q >= 1.0`) which reports the exact recorded maximum.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     counts: Vec<u64>,
@@ -188,12 +191,13 @@ impl Summary {
             ns as f64 / 1e6
         }
         format!(
-            "n={} mean={:.3}ms p50={:.3}ms p90={:.3}ms p99={:.3}ms max={:.3}ms",
+            "n={} mean={:.3}ms p50={:.3}ms p90={:.3}ms p99={:.3}ms p999={:.3}ms max={:.3}ms",
             self.count,
             self.mean / 1e6,
             ms(self.p50),
             ms(self.p90),
             ms(self.p99),
+            ms(self.p999),
             ms(self.max)
         )
     }
@@ -467,6 +471,7 @@ mod tests {
         h.record_duration(SimDuration::from_millis(2));
         let s = h.summary().display_nanos();
         assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p999="), "{s}");
         assert!(s.contains("p50=2.000ms") || s.contains("p50=1.9"), "{s}");
     }
 }

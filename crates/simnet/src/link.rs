@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use tsuru_sim::{DetRng, RatePipe, SimDuration, SimTime};
+use tsuru_telemetry::{spans, Tracer};
 
 /// Configuration of one direction of an inter-site link.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,6 +102,8 @@ pub struct Link {
     frames_sent: u64,
     frames_lost: u64,
     bytes_delivered: u64,
+    tracer: Tracer,
+    trace_link: u64,
 }
 
 impl Link {
@@ -117,7 +120,17 @@ impl Link {
             frames_sent: 0,
             frames_lost: 0,
             bytes_delivered: 0,
+            tracer: Tracer::disabled(),
+            trace_link: 0,
         }
+    }
+
+    /// Install a tracing handle; link-level frame events (`link_frame`,
+    /// `link_loss`, `link_down`) are recorded through it, tagged with
+    /// `link` so traces from a multi-link network stay attributable.
+    pub fn set_tracer(&mut self, tracer: Tracer, link: u64) {
+        self.tracer = tracer;
+        self.trace_link = link;
     }
 
     /// The link configuration.
@@ -169,6 +182,10 @@ impl Link {
     /// arrives at the far end.
     pub fn offer(&mut self, now: SimTime, bytes: u64) -> TransferOutcome {
         if !self.is_up(now) {
+            let link = self.trace_link;
+            self.tracer.instant(spans::LINK_DOWN, now, tsuru_telemetry::SpanId::NONE, || {
+                vec![("link", link.into()), ("bytes", bytes.into())]
+            });
             return TransferOutcome::Down(self.up_at);
         }
         // An auto-expiring outage that has passed clears itself; a future
@@ -179,6 +196,10 @@ impl Link {
         self.frames_sent += 1;
         if self.config.loss_probability > 0.0 && self.rng.gen_bool(self.config.loss_probability) {
             self.frames_lost += 1;
+            let link = self.trace_link;
+            self.tracer.instant(spans::LINK_LOSS, now, tsuru_telemetry::SpanId::NONE, || {
+                vec![("link", link.into()), ("bytes", bytes.into())]
+            });
             return TransferOutcome::Lost;
         }
         let serialized = self.pipe.admit(now, bytes);
@@ -196,6 +217,14 @@ impl Link {
         // earlier. Clamp the arrival to the latest arrival granted so far.
         let at = (serialized + self.config.propagation + jitter).max(self.last_arrival);
         self.last_arrival = at;
+        let link = self.trace_link;
+        self.tracer.instant(spans::LINK_FRAME, now, tsuru_telemetry::SpanId::NONE, || {
+            vec![
+                ("link", link.into()),
+                ("bytes", bytes.into()),
+                ("arrive_ns", at.as_nanos().into()),
+            ]
+        });
         TransferOutcome::DeliveredAt { at, serialized }
     }
 

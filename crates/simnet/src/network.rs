@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use tsuru_sim::{DetRng, SimTime};
+use tsuru_telemetry::Tracer;
 
 use crate::link::{Link, LinkConfig, LinkId};
 
@@ -15,6 +16,7 @@ use crate::link::{Link, LinkConfig, LinkId};
 pub struct Network {
     links: BTreeMap<LinkId, Link>,
     next_id: u32,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -28,8 +30,19 @@ impl Network {
     pub fn add_link(&mut self, config: LinkConfig, rng: DetRng) -> LinkId {
         let id = LinkId(self.next_id);
         self.next_id += 1;
-        self.links.insert(id, Link::new(config, rng));
+        let mut link = Link::new(config, rng);
+        link.set_tracer(self.tracer.clone(), id.0 as u64);
+        self.links.insert(id, link);
         id
+    }
+
+    /// Install a tracing handle on the network and every link —
+    /// existing and future ones alike.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (&id, l) in self.links.iter_mut() {
+            l.set_tracer(tracer.clone(), id.0 as u64);
+        }
+        self.tracer = tracer;
     }
 
     /// Borrow a link.

@@ -24,6 +24,7 @@ use std::rc::Rc;
 
 use tsuru_sim::{Sim, SimDuration, SimTime};
 use tsuru_simnet::TransferOutcome;
+use tsuru_telemetry::{names, spans, SpanId};
 
 use crate::array::WriteError;
 use crate::block::{content_hash, BlockBuf, GroupId, PairId, VolRef, BLOCK_SIZE};
@@ -67,6 +68,14 @@ impl WriteAck {
             WriteAck::Failed(_) => None,
         }
     }
+
+    fn trace_label(&self) -> &'static str {
+        match self {
+            WriteAck::Ok { .. } => "ok",
+            WriteAck::Degraded { .. } => "degraded",
+            WriteAck::Failed(_) => "failed",
+        }
+    }
 }
 
 /// Submit a block write from a host. `cb` fires when the array
@@ -85,8 +94,15 @@ pub fn host_write<S, F>(
     assert_eq!(data.len(), BLOCK_SIZE, "host writes are whole blocks");
     let now = sim.now();
     let st = state.storage_mut();
+    // Root of the write's lifecycle trace: every downstream span
+    // (journal_append → wan_transfer → backup_apply) parents back here.
+    let span = st.tracer.span_start(spans::HOST_WRITE, now, SpanId::NONE, || {
+        vec![("vol", vol.to_string().into()), ("lba", lba.into())]
+    });
     if let Err(e) = st.check_host_write(vol, lba) {
-        st.stats.failed_writes += 1;
+        st.metrics.inc(names::WRITES_FAILED);
+        st.tracer
+            .span_end(spans::HOST_WRITE, span, now, || vec![("ack", "failed".into())]);
         sim.schedule_in(SimDuration::ZERO, move |s, sim| {
             cb(s, sim, WriteAck::Failed(e));
         });
@@ -96,7 +112,7 @@ pub fn host_write<S, F>(
     let done = st.array_mut(vol.array).admit(vol.volume, now, service);
     let ticket = st.issue_write_ticket(vol);
     sim.schedule_at(done, move |s, sim| {
-        persist(s, sim, vol, lba, data, now, ticket, cb)
+        persist(s, sim, vol, lba, data, now, ticket, span, cb)
     });
 }
 
@@ -188,6 +204,7 @@ fn persist<S, F>(
     data: BlockBuf,
     issued: SimTime,
     ticket: u64,
+    span: SpanId,
     cb: F,
 ) where
     S: HasStorage + 'static,
@@ -203,11 +220,13 @@ fn persist<S, F>(
         // apply after newer writes to the same block and roll its content
         // back — the auditor catches that as a truncated WAL tail.
         if !st.is_write_turn(vol, ticket) {
-            st.stats.write_order_waits += 1;
+            st.metrics.inc(names::WRITE_ORDER_WAITS);
+            st.tracer
+                .instant(spans::TICKET_WAIT, now, span, || vec![("ticket", ticket.into())]);
             PersistNext::Stall(st.config.journal_stall_retry)
         } else if st.array(vol.array).is_failed() {
             st.retire_write_ticket(vol);
-            st.stats.failed_writes += 1;
+            st.metrics.inc(names::WRITES_FAILED);
             PersistNext::Ack(WriteAck::Failed(WriteError::ArrayFailed))
         } else {
             let pids: Vec<PairId> = st.fabric.pairs_by_primary(vol).to_vec();
@@ -237,7 +256,10 @@ fn persist<S, F>(
                     }
                 }
                 if stall {
-                    st.stats.journal_stall_retries += 1;
+                    st.metrics.inc(names::JOURNAL_STALL_RETRIES);
+                    st.tracer.instant(spans::JOURNAL_STALL, now, span, || {
+                        vec![("ticket", ticket.into())]
+                    });
                     for &pid in &pids {
                         let gid = st.fabric.pair(pid).group;
                         st.fabric.group_mut(gid).stats.journal_stalls += 1;
@@ -271,10 +293,26 @@ fn persist<S, F>(
                                     g.primary_jnl.expect("ADC group without journal")
                                 };
                                 if st.fabric.journal(jid).has_space(data.len()) {
-                                    st.fabric
+                                    let seq = st
+                                        .fabric
                                         .journal_mut(jid)
                                         .append(pid, lba, data.clone(), hash)
                                         .expect("space was just checked");
+                                    if st.tracer.is_enabled() {
+                                        let jspan = st.tracer.span_complete(
+                                            spans::JOURNAL_APPEND,
+                                            now,
+                                            now,
+                                            span,
+                                            || {
+                                                vec![
+                                                    ("seq", seq.into()),
+                                                    ("group", (gid.0 as u64).into()),
+                                                ]
+                                            },
+                                        );
+                                        st.fabric.journal_mut(jid).set_last_span(jspan);
+                                    }
                                     st.fabric.pair_mut(pid).acked_writes += 1;
                                     adc_kicks.push(gid);
                                 } else {
@@ -300,10 +338,17 @@ fn persist<S, F>(
         }
     };
     match next {
-        PersistNext::Ack(ack) => cb(state, sim, ack),
+        PersistNext::Ack(ack) => {
+            let label = ack.trace_label();
+            state
+                .storage_mut()
+                .tracer
+                .span_end(spans::HOST_WRITE, span, now, || vec![("ack", label.into())]);
+            cb(state, sim, ack)
+        }
         PersistNext::Stall(d) => {
             sim.schedule_in(d, move |s, sim| {
-                persist(s, sim, vol, lba, data, issued, ticket, cb)
+                persist(s, sim, vol, lba, data, issued, ticket, span, cb)
             });
         }
         PersistNext::Legs {
@@ -326,6 +371,10 @@ fn persist<S, F>(
                         global,
                     }
                 };
+                let label = ack.trace_label();
+                st.tracer.span_end(spans::HOST_WRITE, span, now, || {
+                    vec![("ack", label.into()), ("global", global.into())]
+                });
                 cb(state, sim, ack);
             } else {
                 // Synchronous legs hold the host acknowledgement.
@@ -364,6 +413,10 @@ fn persist<S, F>(
                                         global,
                                     }
                                 };
+                                let label = ack.trace_label();
+                                st.tracer.span_end(spans::HOST_WRITE, span, at, || {
+                                    vec![("ack", label.into()), ("global", global.into())]
+                                });
                                 let cb = host_cb
                                     .borrow_mut()
                                     .take()
@@ -594,6 +647,9 @@ fn run_transfer<S: HasStorage + 'static>(
             // Flow control: while the sender-side serialization backlog is
             // deep, hold back — bits not yet on the wire die with the site.
             if st.net.link(link).backlog(now) > st.config.max_link_backlog {
+                st.tracer.instant(spans::PUMP_STALL, now, SpanId::NONE, || {
+                    vec![("group", (gid.0 as u64).into()), ("reason", "backlog".into())]
+                });
                 T::RetryIn(st.config.pump_interval)
             } else {
             let (max_e, max_b) = (st.config.batch_max_entries, st.config.batch_max_bytes);
@@ -608,25 +664,61 @@ fn run_transfer<S: HasStorage + 'static>(
                     + st.config.frame_overhead;
                 match st.offer_link(link, now, payload) {
                     TransferOutcome::DeliveredAt { at, serialized } => {
+                        let mut batch = batch;
                         let last = batch.last().expect("non-empty").seq;
                         st.fabric.journal_mut(jid).mark_sent(last);
                         let g = st.fabric.group_mut(gid);
                         g.stats.frames_sent += 1;
                         g.stats.entries_transferred += batch.len() as u64;
                         g.stats.bytes_transferred += payload;
+                        if st.tracer.is_enabled() {
+                            for e in &mut batch {
+                                let seq = e.seq;
+                                let w = st.tracer.span_complete(
+                                    spans::WAN_TRANSFER,
+                                    now,
+                                    at,
+                                    e.span,
+                                    || {
+                                        vec![
+                                            ("seq", seq.into()),
+                                            ("group", (gid.0 as u64).into()),
+                                        ]
+                                    },
+                                );
+                                e.span = w;
+                            }
+                        }
+                        st.sample_replication_series(now);
                         T::Sent {
                             batch,
                             arrive_at: at,
                             serialized,
                         }
                     }
-                    TransferOutcome::Lost => T::RetryIn(st.config.loss_retry),
+                    TransferOutcome::Lost => {
+                        st.tracer.instant(spans::PUMP_STALL, now, SpanId::NONE, || {
+                            vec![("group", (gid.0 as u64).into()), ("reason", "loss".into())]
+                        });
+                        T::RetryIn(st.config.loss_retry)
+                    }
                     TransferOutcome::Down(Some(up)) => {
+                        st.tracer.instant(spans::PUMP_STALL, now, SpanId::NONE, || {
+                            vec![("group", (gid.0 as u64).into()), ("reason", "down".into())]
+                        });
                         T::RetryAt(up.max(now + SimDuration::from_nanos(1)))
                     }
                     // Indefinite outage: the pump parks; a new append or an
                     // explicit kick_all_pumps after healing restarts it.
-                    TransferOutcome::Down(None) => T::Idle,
+                    TransferOutcome::Down(None) => {
+                        st.tracer.instant(spans::PUMP_STALL, now, SpanId::NONE, || {
+                            vec![
+                                ("group", (gid.0 as u64).into()),
+                                ("reason", "down-parked".into()),
+                            ]
+                        });
+                        T::Idle
+                    }
                 }
             }
             }
@@ -668,9 +760,18 @@ fn receive_batch<S: HasStorage + 'static>(
     serialized: SimTime,
     gen: u32,
 ) {
+    let now = sim.now();
     {
         let st = state.storage_mut();
         if st.fabric.group(gid).generation != gen {
+            let n = batch.len() as u64;
+            st.tracer.instant(spans::FRAME_DISCARD, now, SpanId::NONE, || {
+                vec![
+                    ("group", (gid.0 as u64).into()),
+                    ("entries", n.into()),
+                    ("reason", "stale-generation".into()),
+                ]
+            });
             return; // frame from a superseded replication epoch
         }
         let (active, sjid, remote_failed, primary_lost_frame) = {
@@ -699,6 +800,21 @@ fn receive_batch<S: HasStorage + 'static>(
             )
         };
         if !active || remote_failed || primary_lost_frame {
+            let n = batch.len() as u64;
+            st.tracer.instant(spans::FRAME_DISCARD, now, SpanId::NONE, || {
+                let reason = if primary_lost_frame {
+                    "primary-lost-frame"
+                } else if remote_failed {
+                    "remote-failed"
+                } else {
+                    "inactive"
+                };
+                vec![
+                    ("group", (gid.0 as u64).into()),
+                    ("entries", n.into()),
+                    ("reason", reason.into()),
+                ]
+            });
             return; // in-flight data discarded on promote/suspend/disaster
         }
         let sjid = sjid.expect("ADC group without secondary journal");
@@ -766,7 +882,7 @@ fn run_apply<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>, gid: Grou
     };
     if let Some(done) = done_at {
         state.storage_mut().fabric.group_mut(gid).apply_scheduled = true;
-        sim.schedule_at(done, move |s, sim| finish_apply(s, sim, gid, gen));
+        sim.schedule_at(done, move |s, sim| finish_apply(s, sim, gid, gen, now));
     }
 }
 
@@ -775,6 +891,7 @@ fn finish_apply<S: HasStorage + 'static>(
     sim: &mut Sim<S>,
     gid: GroupId,
     gen: u32,
+    started: SimTime,
 ) {
     let now = sim.now();
     if state.storage().fabric.group(gid).generation != gen {
@@ -797,10 +914,15 @@ fn finish_apply<S: HasStorage + 'static>(
                 .pop_front()
                 .expect("apply completed without a journal entry");
             let sec = st.fabric.pair(e.pair).secondary;
+            let parent = e.span;
             st.array_mut(sec.array).write_block(sec.volume, e.lba, e.data);
             st.fabric.pair_mut(e.pair).applied_writes += 1;
             let drained = st.fabric.journal(sjid).is_empty();
             let seq = e.seq;
+            st.tracer.span_complete(spans::BACKUP_APPLY, started, now, parent, || {
+                vec![("seq", seq.into()), ("group", (gid.0 as u64).into())]
+            });
+            st.sample_replication_series(now);
             let (reverse, ack_due) = {
                 let g = st.fabric.group_mut(gid);
                 g.stats.entries_applied += 1;

@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use tsuru_telemetry::SpanId;
+
 use crate::block::{BlockBuf, JournalId, PairId};
 
 /// One logged update: a block write destined for a secondary volume.
@@ -25,6 +27,10 @@ pub struct JournalEntry {
     pub data: BlockBuf,
     /// Content fingerprint (for the write-order-fidelity checker).
     pub hash: u64,
+    /// Latest trace span of this entry's write lifecycle
+    /// (`journal_append` on the primary side, `wan_transfer` once
+    /// shipped); [`SpanId::NONE`] when tracing is off.
+    pub span: SpanId,
 }
 
 /// A journal volume: bounded FIFO of [`JournalEntry`] with sequence
@@ -146,8 +152,18 @@ impl Journal {
             lba,
             data,
             hash,
+            span: SpanId::NONE,
         });
         Some(seq)
+    }
+
+    /// Tag the most recently appended entry with its `journal_append`
+    /// trace span (the tracer allocates the id only after [`Journal::append`]
+    /// has assigned the sequence number it is attributed with).
+    pub fn set_last_span(&mut self, span: SpanId) {
+        if let Some(e) = self.entries.back_mut() {
+            e.span = span;
+        }
     }
 
     /// Accept an entry arriving from the main site (secondary side).
@@ -370,6 +386,7 @@ mod tests {
             lba: 0,
             data: blk("x"),
             hash: 0,
+            span: SpanId::NONE,
         });
         remote.push_arrived(JournalEntry {
             seq: 7,
@@ -377,6 +394,7 @@ mod tests {
             lba: 0,
             data: blk("y"),
             hash: 0,
+            span: SpanId::NONE,
         });
     }
 
@@ -390,6 +408,7 @@ mod tests {
             lba: 0,
             data: blk("x"),
             hash: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(remote.peek_front().expect("invariant: entry 5 just arrived").seq, 5);
     }

@@ -53,4 +53,10 @@ pub use pool::{Pool, PoolId};
 pub use status::{group_status, render_pool_status, render_replication_status, GroupStatus};
 pub use snapshot::Snapshot;
 pub use volume::{Volume, VolumeRole};
-pub use world::{ConsistencyReport, HasStorage, RpoReport, StorageWorld, WorldStats};
+pub use world::{ConsistencyReport, HasStorage, RpoReport, StorageWorld};
+
+// The observability layer this crate reports through, re-exported so
+// downstream crates read metrics/spans without naming tsuru-telemetry.
+pub use tsuru_telemetry::names as metric_names;
+pub use tsuru_telemetry::spans as span_names;
+pub use tsuru_telemetry::{MetricsRegistry, RecordKind, SpanId, TraceRecord, Tracer};

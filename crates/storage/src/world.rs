@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 
 use tsuru_sim::{DetRng, SimDuration, SimTime};
 use tsuru_simnet::{LinkConfig, LinkId, Network, TransferOutcome};
+use tsuru_telemetry::{names, spans, MetricsRegistry, SpanId, Tracer};
 
 use crate::acklog::{AckLog, PrefixReport};
 use crate::array::{ArrayPerf, StorageArray, WriteError};
@@ -19,18 +20,6 @@ use crate::fabric::{
 };
 use crate::journal::JournalEntry;
 use crate::volume::VolumeRole;
-
-/// Counters global to the world.
-#[derive(Debug, Default, Clone)]
-pub struct WorldStats {
-    /// Host writes rejected because the target array failed.
-    pub failed_writes: u64,
-    /// Host write attempts stalled by a full journal (Block policy).
-    pub journal_stall_retries: u64,
-    /// Host write attempts parked because an earlier write to the same
-    /// volume had not applied yet (per-volume ordering gate).
-    pub write_order_waits: u64,
-}
 
 /// Access to the storage world from an arbitrary simulation state type.
 ///
@@ -103,8 +92,12 @@ pub struct StorageWorld {
     pub fabric: ReplicationFabric,
     /// Global ack-order log (the write-order-fidelity oracle).
     pub ack_log: AckLog,
-    /// Counters.
-    pub stats: WorldStats,
+    /// Named counters, gauges and time series (see
+    /// [`tsuru_telemetry::names`] for the keys the engine uses).
+    pub metrics: MetricsRegistry,
+    /// Causal span tracer; disabled (free) unless
+    /// [`StorageWorld::set_tracer`] installed a recording handle.
+    pub tracer: Tracer,
     /// Per-volume host-write ordering: `(next_ticket, turn)`. A write takes
     /// a ticket at submission and may only apply when its ticket equals the
     /// volume's turn, so a stalled write can never be overtaken by a later
@@ -123,11 +116,22 @@ impl StorageWorld {
             net: Network::new(),
             fabric: ReplicationFabric::new(),
             ack_log: AckLog::new(),
-            stats: WorldStats::default(),
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
             write_order: BTreeMap::new(),
             rng: DetRng::new(seed),
             control_time: SimTime::ZERO,
         }
+    }
+
+    /// Install a tracing handle on the world, its network and every link,
+    /// and turn on time-series sampling (RPO lag, journal occupancy) at
+    /// the replication edges. Install before the first engine event so
+    /// the trace covers the whole run.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.net.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self.metrics.enable_sampling();
     }
 
     /// The control-plane clock: set by the orchestrator before running
@@ -511,6 +515,11 @@ impl StorageWorld {
 
     /// Snapshot one volume.
     pub fn snapshot(&mut self, vol: VolRef, name: impl Into<String>, now: SimTime) -> SnapshotId {
+        let name = name.into();
+        self.metrics.inc(names::SNAPSHOTS_TAKEN);
+        self.tracer.instant(spans::SNAPSHOT, now, SpanId::NONE, || {
+            vec![("vol", vol.to_string().into()), ("name", name.clone().into())]
+        });
         self.array_mut(vol.array)
             .create_snapshot(vol.volume, name, now)
     }
@@ -523,6 +532,14 @@ impl StorageWorld {
         name_prefix: &str,
         now: SimTime,
     ) -> Vec<SnapshotId> {
+        self.metrics.add(names::SNAPSHOTS_TAKEN, vols.len() as u64);
+        self.tracer.instant(spans::SNAPSHOT, now, SpanId::NONE, || {
+            vec![
+                ("array", (array.0 as u64).into()),
+                ("vols", (vols.len() as u64).into()),
+                ("name", name_prefix.into()),
+            ]
+        });
         self.array_mut(array)
             .create_snapshot_group(vols, name_prefix, now)
     }
@@ -676,6 +693,31 @@ impl StorageWorld {
     /// Journal-full policy accessor (engine convenience).
     pub(crate) fn journal_full_policy(&self) -> JournalFullPolicy {
         self.config.journal_full_policy
+    }
+
+    /// Sample the derived replication time series (total primary-journal
+    /// occupancy, acked-but-unapplied RPO lag) at a transfer or apply
+    /// edge. No-op unless sampling was enabled by
+    /// [`StorageWorld::set_tracer`].
+    pub(crate) fn sample_replication_series(&mut self, now: SimTime) {
+        if !self.metrics.sampling_enabled() {
+            return;
+        }
+        let mut occupancy = 0u64;
+        let mut lag = 0u64;
+        for gid in self.fabric.group_ids() {
+            let g = self.fabric.group(gid);
+            if let Some(jid) = g.primary_jnl {
+                occupancy += self.fabric.journal(jid).used_bytes();
+            }
+            for &pid in &g.pairs {
+                let p = self.fabric.pair(pid);
+                lag += p.acked_writes.saturating_sub(p.applied_writes);
+            }
+        }
+        self.metrics
+            .sample(names::JOURNAL_OCCUPANCY, now, occupancy as f64);
+        self.metrics.sample(names::RPO_LAG, now, lag as f64);
     }
 }
 

@@ -302,7 +302,7 @@ fn journal_full_block_policy_stalls_but_loses_nothing() {
     assert_eq!(r.world.acks.len(), 64, "every write eventually acks");
     assert!(r.world.acks.iter().all(|(_, a, _)| a.is_persisted()));
     assert!(
-        r.world.st.stats.journal_stall_retries > 0,
+        r.world.st.metrics.counter(tsuru_storage::metric_names::JOURNAL_STALL_RETRIES) > 0,
         "the tiny journal must have caused stalls"
     );
     // Nothing lost: fully applied and consistent.
@@ -480,7 +480,7 @@ fn writes_to_fenced_secondary_and_failed_array_are_rejected() {
         WriteAck::Failed(WriteError::VolumeFenced)
     );
     assert_eq!(r.world.acks[1].1, WriteAck::Failed(WriteError::ArrayFailed));
-    assert_eq!(r.world.st.stats.failed_writes, 2);
+    assert_eq!(r.world.st.metrics.counter(tsuru_storage::metric_names::WRITES_FAILED), 2);
 }
 
 #[test]

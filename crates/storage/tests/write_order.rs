@@ -77,11 +77,11 @@ fn stalled_writes_apply_in_issue_order() {
 
     assert_eq!(acked.get(), 2, "both writes must eventually persist");
     assert!(
-        world.st.stats.journal_stall_retries > 0,
+        world.st.metrics.counter(tsuru_storage::metric_names::JOURNAL_STALL_RETRIES) > 0,
         "the squeeze must actually stall the writes"
     );
     assert!(
-        world.st.stats.write_order_waits > 0,
+        world.st.metrics.counter(tsuru_storage::metric_names::WRITE_ORDER_WAITS) > 0,
         "the ordering gate must park the overtaking retry"
     );
     let newest = |vol: VolRef| {

@@ -1,0 +1,227 @@
+//! Trace exporters: JSON Lines and Chrome `trace_event` JSON.
+//!
+//! Both writers build their output by hand from integer sim-time — no
+//! floating point, no map iteration over unordered containers — so the
+//! bytes are a pure function of the recorded trace: the same seed
+//! produces identical exports at any harness thread count.
+
+use crate::tracer::{AttrVal, RecordKind, SpanId, TraceRecord};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_attrs(attrs: &[(&'static str, AttrVal)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(k, out);
+        out.push_str("\":");
+        match v {
+            AttrVal::U64(n) => out.push_str(&n.to_string()),
+            AttrVal::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render a trace as JSON Lines: one self-describing object per record,
+/// in emission order. Empty input yields the empty string.
+pub fn export_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let ev = match r.kind {
+            RecordKind::Start => "start",
+            RecordKind::End => "end",
+            RecordKind::Span { .. } => "span",
+            RecordKind::Instant => "instant",
+        };
+        out.push_str(&format!(
+            "{{\"ev\":\"{}\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"t_ns\":{}",
+            ev,
+            r.id.0,
+            r.parent.0,
+            r.name,
+            r.t.as_nanos()
+        ));
+        if let RecordKind::Span { end } = r.kind {
+            out.push_str(&format!(",\"end_ns\":{}", end.as_nanos()));
+        }
+        out.push_str(",\"attrs\":");
+        push_attrs(&r.attrs, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Microseconds with nanosecond fraction, rendered via integer math so
+/// the bytes never depend on float formatting.
+fn ts_micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn chrome_event(
+    ph: char,
+    id: SpanId,
+    name: &str,
+    ns: u64,
+    parent: SpanId,
+    attrs: &[(&'static str, AttrVal)],
+    out: &mut String,
+) {
+    out.push_str(&format!(
+        "{{\"ph\":\"{}\",\"cat\":\"tsuru\",\"id\":{},\"name\":\"{}\",\"pid\":1,\"tid\":1,\"ts\":{}",
+        ph,
+        id.0,
+        name,
+        ts_micros(ns)
+    ));
+    // Chrome async events with the same name+id nest across b/e; args on
+    // the "b" edge carry the causal parent and the record attributes.
+    if ph != 'e' {
+        out.push_str(",\"args\":{\"parent\":");
+        out.push_str(&parent.0.to_string());
+        for (k, v) in attrs {
+            out.push_str(",\"");
+            escape_json(k, out);
+            out.push_str("\":");
+            match v {
+                AttrVal::U64(n) => out.push_str(&n.to_string()),
+                AttrVal::Str(s) => {
+                    out.push('"');
+                    escape_json(s, out);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Render a trace as a Chrome `trace_event` document for
+/// `chrome://tracing` / Perfetto. Spans become async begin/end pairs
+/// (`ph:"b"`/`"e"`, matched by name + id, so overlapping write
+/// lifecycles don't nest), instants become async instants (`ph:"n"`).
+pub fn export_chrome(records: &[TraceRecord]) -> String {
+    // "e" events must repeat their "b" event's name; End records carry
+    // the same name their Start was emitted with.
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for r in records {
+        let mut emit = |ph: char, ns: u64, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  ");
+            chrome_event(ph, r.id, r.name, ns, r.parent, &r.attrs, out);
+        };
+        match r.kind {
+            RecordKind::Start => emit('b', r.t.as_nanos(), &mut out),
+            RecordKind::End => emit('e', r.t.as_nanos(), &mut out),
+            RecordKind::Span { end } => {
+                emit('b', r.t.as_nanos(), &mut out);
+                emit('e', end.as_nanos(), &mut out);
+            }
+            RecordKind::Instant => emit('n', r.t.as_nanos(), &mut out),
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Attrs, Tracer};
+    use tsuru_sim::SimTime;
+
+    fn sample_trace() -> Vec<TraceRecord> {
+        let t = Tracer::enabled();
+        let w = t.span_start("host_write", SimTime::from_micros(1), SpanId::NONE, || {
+            vec![("vol", "a0:v1".into()), ("lba", 7u64.into())]
+        });
+        t.span_complete(
+            "wan_transfer",
+            SimTime::from_micros(2),
+            SimTime::from_micros(9),
+            w,
+            Attrs::new,
+        );
+        t.instant("snapshot", SimTime::from_nanos(3_500), w, Attrs::new);
+        t.span_end("host_write", w, SimTime::from_micros(10), Attrs::new);
+        t.records()
+    }
+
+    #[test]
+    fn jsonl_is_stable() {
+        let lines = export_jsonl(&sample_trace());
+        let expect = concat!(
+            "{\"ev\":\"start\",\"id\":1,\"parent\":0,\"name\":\"host_write\",\"t_ns\":1000,\"attrs\":{\"vol\":\"a0:v1\",\"lba\":7}}\n",
+            "{\"ev\":\"span\",\"id\":2,\"parent\":1,\"name\":\"wan_transfer\",\"t_ns\":2000,\"end_ns\":9000,\"attrs\":{}}\n",
+            "{\"ev\":\"instant\",\"id\":3,\"parent\":1,\"name\":\"snapshot\",\"t_ns\":3500,\"attrs\":{}}\n",
+            "{\"ev\":\"end\",\"id\":1,\"parent\":0,\"name\":\"host_write\",\"t_ns\":10000,\"attrs\":{}}\n",
+        );
+        assert_eq!(lines, expect);
+    }
+
+    #[test]
+    fn chrome_pairs_async_events() {
+        let doc = export_chrome(&sample_trace());
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("]}\n"));
+        // The complete wan_transfer span becomes one b and one e with id 2.
+        let b = "{\"ph\":\"b\",\"cat\":\"tsuru\",\"id\":2,\"name\":\"wan_transfer\",\"pid\":1,\"tid\":1,\"ts\":2.000,\"args\":{\"parent\":1}}";
+        let e = "{\"ph\":\"e\",\"cat\":\"tsuru\",\"id\":2,\"name\":\"wan_transfer\",\"pid\":1,\"tid\":1,\"ts\":9.000}";
+        assert!(doc.contains(b), "{doc}");
+        assert!(doc.contains(e), "{doc}");
+        // Sub-microsecond instants keep nanosecond precision via the
+        // fractional-microsecond ts.
+        assert!(doc.contains("\"ts\":3.500"), "{doc}");
+        // host_write start/end pair by name + id 1.
+        assert!(doc.contains("\"ph\":\"b\",\"cat\":\"tsuru\",\"id\":1,\"name\":\"host_write\""));
+        assert!(doc.contains("\"ph\":\"e\",\"cat\":\"tsuru\",\"id\":1,\"name\":\"host_write\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let t = Tracer::enabled();
+        t.instant("fault", SimTime::ZERO, SpanId::NONE, || {
+            vec![("detail", "say \"hi\"\\\n\u{1}".into())]
+        });
+        let line = export_jsonl(&t.records());
+        assert!(
+            line.contains("\"detail\":\"say \\\"hi\\\"\\\\\\n\\u0001\""),
+            "{line}"
+        );
+        let doc = export_chrome(&t.records());
+        assert!(doc.contains("\\u0001"), "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_exports() {
+        assert_eq!(export_jsonl(&[]), "");
+        assert_eq!(export_chrome(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,84 @@
+//! # tsuru-telemetry — deterministic observability for the simulated stack
+//!
+//! The paper's central claims (no host slowdown, prefix-consistent backup
+//! cuts) are *temporal* claims about the journey of one write: acked at
+//! the primary, journaled, shipped over the WAN, applied at the backup.
+//! This crate makes that journey visible without perturbing it:
+//!
+//! - a **causal span tracer** ([`Tracer`]) records sim-time-stamped spans
+//!   with parent links, forming a per-write lifecycle
+//!   `host_write → journal_append → wan_transfer → backup_apply` plus
+//!   `snapshot`, `pump_stall` and `fault` spans (see [`spans`]);
+//! - a **metrics registry** ([`MetricsRegistry`]) holds named counters,
+//!   gauges, histograms and time series behind stable `BTreeMap` keys
+//!   (see [`names`]), with serializable point-in-time snapshots;
+//! - **exporters** render a recorded trace as JSONL
+//!   ([`Tracer::export_jsonl`]) or Chrome `trace_event` JSON
+//!   ([`Tracer::export_chrome`]) for `chrome://tracing` / Perfetto.
+//!
+//! Everything is keyed to [`SimTime`](tsuru_sim::SimTime) — no wall clock,
+//! no ambient randomness — so two runs of the same seed produce
+//! byte-identical exports at any harness thread count. The
+//! [`Tracer::disabled`] handle is a no-op whose emit methods never build
+//! their attributes (they take closures), keeping the hot path free when
+//! tracing is off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod registry;
+mod tracer;
+
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use tracer::{AttrVal, Attrs, RecordKind, SpanId, TraceRecord, Tracer};
+
+/// Stable span and instant names emitted by the instrumented stack.
+pub mod spans {
+    /// Root span of one host write: submit to host acknowledgement.
+    pub const HOST_WRITE: &str = "host_write";
+    /// Zero-width span: the write entered a primary-side journal.
+    pub const JOURNAL_APPEND: &str = "journal_append";
+    /// One journal entry crossing the inter-site link (send → arrival).
+    pub const WAN_TRANSFER: &str = "wan_transfer";
+    /// One journal entry applied to its secondary volume (admit → done).
+    pub const BACKUP_APPLY: &str = "backup_apply";
+    /// Instant: a write parked by the per-volume ordering gate.
+    pub const TICKET_WAIT: &str = "ticket_wait";
+    /// Instant: a write stalled by a full journal (Block policy).
+    pub const JOURNAL_STALL: &str = "journal_stall";
+    /// Instant: a transfer pump backing off (loss, outage, flow control).
+    pub const PUMP_STALL: &str = "pump_stall";
+    /// Instant: an in-flight batch discarded at the receive path.
+    pub const FRAME_DISCARD: &str = "frame_discard";
+    /// Instant: an array snapshot (or snapshot group) was taken.
+    pub const SNAPSHOT: &str = "snapshot";
+    /// Span: an injected fault window (start → heal).
+    pub const FAULT: &str = "fault";
+    /// Instant: a frame delivered by a link.
+    pub const LINK_FRAME: &str = "link_frame";
+    /// Instant: a frame lost by a link.
+    pub const LINK_LOSS: &str = "link_loss";
+    /// Instant: a frame refused because the link is down.
+    pub const LINK_DOWN: &str = "link_down";
+    /// Span: one controller reconcile pass.
+    pub const RECONCILE: &str = "reconcile";
+}
+
+/// Stable metric names used by the instrumented stack.
+pub mod names {
+    /// Host writes rejected because the target array failed.
+    pub const WRITES_FAILED: &str = "writes.failed";
+    /// Host write attempts stalled by a full journal (Block policy).
+    pub const JOURNAL_STALL_RETRIES: &str = "writes.journal_stall_retries";
+    /// Host write attempts parked by the per-volume ordering gate.
+    pub const WRITE_ORDER_WAITS: &str = "writes.order_waits";
+    /// Snapshots taken (single or group members).
+    pub const SNAPSHOTS_TAKEN: &str = "snapshots.taken";
+    /// Time series: total primary-journal occupancy in bytes, sampled at
+    /// transfer and apply edges.
+    pub const JOURNAL_OCCUPANCY: &str = "journal.occupancy_bytes";
+    /// Time series: acked-but-unapplied writes across all pairs (the RPO
+    /// lag), sampled at transfer and apply edges.
+    pub const RPO_LAG: &str = "rpo.lag_writes";
+}

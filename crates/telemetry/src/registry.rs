@@ -1,0 +1,203 @@
+//! The unified metrics registry: named counters, gauges, histograms and
+//! time series behind stable `BTreeMap` keys.
+//!
+//! The registry absorbs the ad-hoc stat fields that used to live on
+//! `StorageWorld` (`write_order_waits`, journal-stall retries, …): each
+//! becomes a named counter (see [`crate::names`]) that instrumented code
+//! bumps through one handle, and reports read back by name. Time-series
+//! sampling (RPO lag, journal occupancy) is gated by
+//! [`MetricsRegistry::enable_sampling`] so the hot path stays free when
+//! nobody will read the series.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tsuru_sim::{Histogram, SimTime, Summary, TimeSeries};
+
+/// Named counters, gauges, histograms and time series. See the
+/// [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: BTreeMap<&'static str, TimeSeries>,
+    sampling: bool,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with sampling off.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Increment counter `name` by `n`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one sample into histogram `name`.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Summary of histogram `name`, if any sample was recorded.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        self.histograms.get(name).map(Histogram::summary)
+    }
+
+    /// Turn time-series sampling on; [`MetricsRegistry::sample`] is a
+    /// no-op until this is called.
+    pub fn enable_sampling(&mut self) {
+        self.sampling = true;
+    }
+
+    /// True once [`MetricsRegistry::enable_sampling`] was called.
+    pub fn sampling_enabled(&self) -> bool {
+        self.sampling
+    }
+
+    /// Append an observation to series `name` — only when sampling is
+    /// enabled, so instrumented edges can call this unconditionally.
+    /// Timestamps must be non-decreasing per series.
+    pub fn sample(&mut self, name: &'static str, t: SimTime, v: f64) {
+        if !self.sampling {
+            return;
+        }
+        self.series.entry(name).or_default().push(t, v);
+    }
+
+    /// Time series `name`, if any observation was sampled.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// A serializable point-in-time snapshot: counters and gauges by
+    /// name, histogram summaries, and series (name, length, last value).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.summary()))
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(&k, s)| {
+                    let last = s.points().last().map(|&(_, v)| v).unwrap_or(0.0);
+                    (k.to_string(), s.len() as u64, last)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of a [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, Summary)>,
+    /// Per-series name, observation count, and last observed value.
+    pub series: Vec<(String, u64, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("writes.failed"), 0);
+        m.inc("writes.failed");
+        m.add("writes.failed", 2);
+        assert_eq!(m.counter("writes.failed"), 3);
+        assert_eq!(m.gauge("journal.cap"), None);
+        m.set_gauge("journal.cap", 64.0);
+        assert_eq!(m.gauge("journal.cap"), Some(64.0));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.summary("lat").is_none());
+        m.record("lat", 1_000_000);
+        m.record("lat", 3_000_000);
+        let s = m.summary("lat").expect("two samples recorded");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3_000_000);
+    }
+
+    #[test]
+    fn sampling_is_gated() {
+        let mut m = MetricsRegistry::new();
+        m.sample("rpo.lag_writes", SimTime::from_millis(1), 5.0);
+        assert!(m.series("rpo.lag_writes").is_none());
+        m.enable_sampling();
+        m.sample("rpo.lag_writes", SimTime::from_millis(2), 5.0);
+        m.sample("rpo.lag_writes", SimTime::from_millis(3), 2.0);
+        let s = m.series("rpo.lag_writes").expect("sampling enabled");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.enable_sampling();
+        m.inc("b.counter");
+        m.inc("a.counter");
+        m.record("lat", 42);
+        m.sample("occ", SimTime::ZERO, 1.0);
+        m.sample("occ", SimTime::from_millis(1), 7.0);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.counter".to_string(), 1), ("b.counter".to_string(), 1)]
+        );
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.series, vec![("occ".to_string(), 2, 7.0)]);
+    }
+}
