@@ -1,0 +1,24 @@
+//! Head-to-head Criterion bench of the typed-event timer-wheel kernel
+//! against the preserved boxed-closure binary-heap kernel
+//! (`tsuru_bench::refkernel`) on the identical chain workload that
+//! `repro bench` measures — same chains, same delay spread, same event
+//! count, so the two measurements corroborate each other.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsuru_bench::kernelbench::{run_boxed_chain, run_typed_chain};
+
+const EVENTS: u64 = 200_000;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_events");
+    group.bench_function("typed_wheel_200k", |b| {
+        b.iter(|| criterion::black_box(run_typed_chain(EVENTS)))
+    });
+    group.bench_function("boxed_heap_200k", |b| {
+        b.iter(|| criterion::black_box(run_boxed_chain(EVENTS)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -54,6 +54,11 @@ struct Options {
     threads: usize,
     /// `--trace DIR` / `--trace=DIR`: write trace exports under `DIR`.
     trace_dir: Option<PathBuf>,
+    /// `--json PATH` (bench): write the machine-readable `BENCH.json` here.
+    json: Option<PathBuf>,
+    /// `--baseline PATH` (bench): compare against a checked-in baseline and
+    /// exit nonzero if typed events/sec regresses more than 20 %.
+    baseline: Option<PathBuf>,
 }
 
 impl Options {
@@ -66,6 +71,8 @@ impl Options {
             csv: false,
             threads: 0,
             trace_dir: None,
+            json: None,
+            baseline: None,
         };
         let args: Vec<String> = args.collect();
         let mut i = 0;
@@ -91,6 +98,20 @@ impl Options {
                 }
             } else if let Some(v) = a.strip_prefix("--trace=") {
                 opts.trace_dir = Some(PathBuf::from(v));
+            } else if a == "--json" {
+                if let Some(p) = args.get(i + 1) {
+                    opts.json = Some(PathBuf::from(p));
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--json=") {
+                opts.json = Some(PathBuf::from(v));
+            } else if a == "--baseline" {
+                if let Some(p) = args.get(i + 1) {
+                    opts.baseline = Some(PathBuf::from(p));
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--baseline=") {
+                opts.baseline = Some(PathBuf::from(v));
             } else if !a.starts_with("--") {
                 opts.names.push(a.clone());
             }
@@ -122,9 +143,17 @@ fn maybe_csv(opts: &Options, name: &str, table: &str) {
     }
 }
 
+/// The single stderr reporting path: every diagnostic line — harness
+/// wall-clock stats, worker counts, bench measurements — goes through here,
+/// so stdout stays byte-identical at any `--threads` value and the bench
+/// output can never interleave with the comparable tables.
+fn note(tag: &str, msg: &str) {
+    eprintln!("[{tag}] {msg}");
+}
+
 /// Wall-clock stats go to stderr so stdout is identical at any `--threads`.
 fn report(label: &str, stats: &HarnessStats) {
-    eprintln!("[harness] {label}: {}", stats.display());
+    note("harness", &format!("{label}: {}", stats.display()));
 }
 
 fn run_e1(harness: &TrialHarness, opts: &Options) {
@@ -329,7 +358,7 @@ fn main() {
     let harness = TrialHarness::new(opts.threads);
 
     println!("Tsuru experiment reproduction (see DESIGN.md §4, EXPERIMENTS.md)\n");
-    eprintln!("[harness] trial workers: {}", harness.threads());
+    note("harness", &format!("trial workers: {}", harness.threads()));
     if opts.want("e1") {
         run_e1(&harness, &opts);
     }
@@ -359,6 +388,12 @@ fn main() {
     if opts.names.iter().any(|n| n == "trace") {
         run_trace(&harness, &opts);
     }
+    // Opt-in only (`repro bench`): wall-clock kernel microbenchmarks and
+    // per-experiment timings. Everything goes to stderr / `--json`; exits
+    // nonzero if `--baseline` shows a >20 % events/sec regression.
+    if opts.names.iter().any(|n| n == "bench") && !run_bench(&harness, &opts) {
+        std::process::exit(1);
+    }
     if opts.want("a1") {
         run_a1(&harness, &opts);
     }
@@ -375,6 +410,167 @@ fn main() {
             write_rig_trace(&dir);
         }
     }
+}
+
+/// The `bench` subcommand: wall-clock microbenchmarks of the event kernel
+/// (typed wheel vs the preserved boxed-closure reference kernel) plus
+/// per-experiment wall-clock timings and the rig's peak event-queue depth.
+///
+/// All human-readable output rides the shared stderr reporter ([`note`]),
+/// never stdout; `--json PATH` writes the machine-readable `BENCH.json`;
+/// `--baseline PATH` compares against a checked-in baseline and returns
+/// `false` (⇒ exit 1) if typed events/sec regressed by more than 20 %.
+fn run_bench(harness: &TrialHarness, opts: &Options) -> bool {
+    use tsuru_bench::kernelbench::{measure_boxed, measure_typed, time_secs, KernelRate};
+
+    const EVENTS: u64 = 4_000_000;
+    note(
+        "bench",
+        &format!(
+            "kernel microbench: {} self-rescheduling chains, delays spread over wheel levels",
+            tsuru_bench::kernelbench::CHAINS
+        ),
+    );
+    // Warm-up primes the allocator and the wheel's slot capacities so the
+    // measured runs see steady state.
+    let _ = measure_typed(EVENTS / 40);
+    let _ = measure_boxed(EVENTS / 40);
+    let typed = measure_typed(EVENTS);
+    let boxed = measure_boxed(EVENTS);
+    let speedup = typed.events_per_sec / boxed.events_per_sec;
+    let show = |r: &KernelRate| {
+        note(
+            "bench",
+            &format!(
+                "{:<11} {} events in {:.3} s -> {:.3e} events/s (peak queue depth {})",
+                r.kernel, r.events, r.secs, r.events_per_sec, r.peak_pending
+            ),
+        );
+    };
+    show(&typed);
+    show(&boxed);
+    note("bench", &format!("typed/boxed speedup: {speedup:.2}x"));
+
+    // Peak queue depth of the real workload, not just the microbench: one
+    // representative rig run (ADC consistency group, default config).
+    let (rig_peak, rig_secs) = time_secs(|| {
+        let mut rig = TwoSiteRig::new(RigConfig::default());
+        rig.run_workload_for(SimDuration::from_millis(50));
+        rig.sim.peak_pending()
+    });
+    note(
+        "bench",
+        &format!("rig 50 ms workload: peak queue depth {rig_peak} ({rig_secs:.3} s wall)"),
+    );
+
+    // Wall-clock per experiment, same parameters as the repro run itself.
+    let mut experiments: Vec<(&str, f64)> = Vec::new();
+    let mut time_exp = |name: &'static str, secs: f64| {
+        note("bench", &format!("experiment {name}: {secs:.3} s wall"));
+        experiments.push((name, secs));
+    };
+    time_exp(
+        "e1",
+        time_secs(|| e1_slowdown_with(harness, 42, &[1, 2, 10, 25, 50], SimDuration::from_millis(400))).1,
+    );
+    time_exp(
+        "e2",
+        time_secs(|| e2_collapse_with(harness, 1000, 30, SimDuration::from_millis(2))).1,
+    );
+    time_exp(
+        "e3",
+        time_secs(|| e3_rpo_with(harness, 7, &[50, 100, 500, 1000], &[1, 64])).1,
+    );
+    time_exp("e4", time_secs(|| e4_snapshot(11)).1);
+    time_exp("e5", time_secs(|| e5_operator(&[2, 4, 10, 50, 100, 200])).1);
+    time_exp("e6", time_secs(|| e6_demo(2026)).1);
+    time_exp("e7", time_secs(|| e7_three_dc(29)).1);
+    time_exp(
+        "a1",
+        time_secs(|| a1_backup_lag_with(harness, 19, &[200, 500, 2000, 5000], &[8, 64])).1,
+    );
+    time_exp(
+        "a2",
+        time_secs(|| a2_journal_policy_with(harness, 23, &[256, 1024, 16384])).1,
+    );
+
+    if let Some(path) = &opts.json {
+        let json = bench_json(&typed, &boxed, speedup, rig_peak, &experiments);
+        match fs::write(path, json) {
+            Ok(()) => note("bench", &format!("wrote {}", path.display())),
+            Err(e) => {
+                note("bench", &format!("failed to write {}: {e}", path.display()));
+                return false;
+            }
+        }
+    }
+
+    if let Some(path) = &opts.baseline {
+        let base = match fs::read_to_string(path).ok().as_deref().and_then(baseline_events_per_sec)
+        {
+            Some(b) => b,
+            None => {
+                note(
+                    "bench",
+                    &format!("baseline {} missing or unparsable", path.display()),
+                );
+                return false;
+            }
+        };
+        let floor = base * 0.8;
+        let ok = typed.events_per_sec >= floor;
+        note(
+            "bench",
+            &format!(
+                "baseline gate: typed {:.3e} events/s vs floor {:.3e} (0.8 x baseline {:.3e}) -> {}",
+                typed.events_per_sec,
+                floor,
+                base,
+                if ok { "pass" } else { "FAIL" }
+            ),
+        );
+        return ok;
+    }
+    true
+}
+
+/// Hand-rolled `BENCH.json` (the workspace vendors no JSON serializer; the
+/// format is flat enough that string assembly is the honest tool).
+fn bench_json(
+    typed: &tsuru_bench::kernelbench::KernelRate,
+    boxed: &tsuru_bench::kernelbench::KernelRate,
+    speedup: f64,
+    rig_peak: usize,
+    experiments: &[(&str, f64)],
+) -> String {
+    let rate = |r: &tsuru_bench::kernelbench::KernelRate| {
+        format!(
+            "{{\"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"peak_pending\": {}}}",
+            r.events, r.secs, r.events_per_sec, r.peak_pending
+        )
+    };
+    let exps: Vec<String> = experiments
+        .iter()
+        .map(|(n, s)| format!("    {{\"name\": \"{n}\", \"secs\": {s:.3}}}"))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"tsuru-bench/1\",\n  \"kernel\": {{\n    \"typed_wheel\": {},\n    \"boxed_heap\": {},\n    \"speedup\": {:.2}\n  }},\n  \"rig_peak_pending\": {},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        rate(typed),
+        rate(boxed),
+        speedup,
+        rig_peak,
+        exps.join(",\n")
+    )
+}
+
+/// Pull `kernel.typed_wheel.events_per_sec` out of a `BENCH.json` without a
+/// JSON parser: locate the `typed_wheel` object, then the first
+/// `events_per_sec` key after it.
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let obj = &text[text.find("\"typed_wheel\"")?..];
+    let rest = &obj[obj.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    let end = rest.find(|c: char| c == ',' || c == '}')?;
+    rest[..end].trim().parse().ok()
 }
 
 fn run_a1(harness: &TrialHarness, opts: &Options) {

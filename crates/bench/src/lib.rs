@@ -13,6 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernelbench;
+pub mod refkernel;
+
 use tsuru_core::experiments::{E1Row, E2Row, E3Row, E4Row, E5Row};
 use tsuru_core::{f2, render_table};
 

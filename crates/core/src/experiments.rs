@@ -611,39 +611,16 @@ pub fn a1_backup_lag_with(
         let groups = rig.groups.clone();
 
         let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-        // Recurring sampler: every 5 ms record the group backlog.
-        fn sample(
-            w: &mut crate::world::DemoWorld,
-            sim: &mut tsuru_sim::Sim<crate::world::DemoWorld>,
-            groups: Vec<tsuru_storage::GroupId>,
-            out: Rc<std::cell::RefCell<Vec<u64>>>,
-            remaining: u32,
-        ) {
-            let lag: u64 = groups
-                .iter()
-                .flat_map(|&g| w.st.fabric.group(g).pairs.clone())
-                .map(|pid| {
-                    let p = w.st.fabric.pair(pid);
-                    p.acked_writes - p.applied_writes
-                })
-                .sum();
-            out.borrow_mut().push(lag);
-            if remaining > 0 {
-                let groups = groups.clone();
-                let out = Rc::clone(&out);
-                sim.schedule_in(SimDuration::from_millis(5), move |w, sim| {
-                    sample(w, sim, groups, out, remaining - 1)
-                });
-            }
-        }
-        {
-            let groups = groups.clone();
-            let out = Rc::clone(&samples);
-            rig.sim
-                .schedule_at(SimTime::from_millis(20), move |w, sim| {
-                    sample(w, sim, groups, out, 56)
-                });
-        }
+        // Recurring sampler: every 5 ms record the group backlog (typed
+        // control-plane event; re-arms itself until `remaining` runs out).
+        rig.sim.schedule_event_at(
+            SimTime::from_millis(20),
+            crate::DemoEvent::Control(crate::ControlOp::SampleLag {
+                groups: groups.clone(),
+                out: Rc::clone(&samples),
+                remaining: 56,
+            }),
+        );
         rig.run_workload_for(SimDuration::from_millis(300));
 
         let samples = samples.borrow();

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 pub mod experiments;
 mod harness;
 mod report;
@@ -21,6 +22,7 @@ mod rig;
 mod system;
 mod world;
 
+pub use event::{ControlOp, DemoEvent, DemoSim};
 pub use harness::{HarnessStats, TrialCtx, TrialHarness, TrialSet};
 pub use report::{f2, f3, render_table};
 pub use rig::{BackupMode, RecoveryOutcome, RigConfig, TwoSiteRig, VOLUME_NAMES};

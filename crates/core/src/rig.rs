@@ -22,6 +22,7 @@ use tsuru_storage::{
     SnapshotView, StorageWorld, VolRef, VolumeView,
 };
 
+use crate::event::{ControlOp, DemoEvent, DemoSim};
 use crate::world::DemoWorld;
 
 /// How the business process is protected.
@@ -141,8 +142,8 @@ impl RecoveryOutcome {
 pub struct TwoSiteRig {
     /// Discrete-event state.
     pub world: DemoWorld,
-    /// Event kernel.
-    pub sim: Sim<DemoWorld>,
+    /// Event kernel (typed [`DemoEvent`] dispatch).
+    pub sim: DemoSim,
     /// Main-site array.
     pub main: ArrayId,
     /// Backup-site array.
@@ -322,10 +323,9 @@ impl TwoSiteRig {
 
     /// Schedule a main-site disaster at `at`.
     pub fn schedule_main_failure(&mut self, at: SimTime) {
-        let main = self.main;
-        self.sim.schedule_at(at, move |w: &mut DemoWorld, sim| {
-            w.st.fail_array(main, sim.now());
-        });
+        let array = self.main;
+        self.sim
+            .schedule_event_at(at, DemoEvent::Control(ControlOp::FailArray { array }));
     }
 
     /// Let in-flight replication settle after a failure (bounded horizon).

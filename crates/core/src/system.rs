@@ -32,6 +32,7 @@ use tsuru_storage::{
     SnapshotView, StorageWorld, VolRef, VolumeId,
 };
 
+use crate::event::DemoSim;
 use crate::rig::VOLUME_NAMES;
 use crate::world::DemoWorld;
 
@@ -91,8 +92,8 @@ impl Default for DemoConfig {
 pub struct DemoSystem {
     /// Discrete-event state (storage + application).
     pub world: DemoWorld,
-    /// Event kernel.
-    pub sim: Sim<DemoWorld>,
+    /// Event kernel (typed [`crate::DemoEvent`] dispatch).
+    pub sim: DemoSim,
     /// Main-site platform.
     pub main_api: ApiServer,
     /// Backup-site platform.

@@ -17,6 +17,7 @@ use tsuru_sim::{Sim, SimDuration};
 use tsuru_storage::{engine::host_write, HasStorage, WriteAck};
 
 use crate::app::HasEcom;
+use crate::event::{EcomEvents, EcomOp};
 use crate::model::{OrderRow, StockRow, ORDERS_TABLE, STOCK_TABLE};
 use crate::workload::OrderSpec;
 
@@ -33,23 +34,25 @@ pub enum Which {
 /// concurrently; the next phase starts only after every write of the
 /// current phase acknowledged. `done` receives `false` if any write failed
 /// (site disaster).
-pub fn drive_plan<S, F>(state: &mut S, sim: &mut Sim<S>, which: Which, plan: IoPlan, done: F)
+pub fn drive_plan<S, E, F>(state: &mut S, sim: &mut Sim<S, E>, which: Which, plan: IoPlan, done: F)
 where
     S: HasStorage + HasEcom + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, bool) + 'static,
+    E: EcomEvents<S>,
+    F: FnOnce(&mut S, &mut Sim<S, E>, bool) + 'static,
 {
     drive_phases(state, sim, which, plan.phases.into(), done);
 }
 
-fn drive_phases<S, F>(
+fn drive_phases<S, E, F>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     which: Which,
     mut phases: VecDeque<Vec<IoRequest>>,
     done: F,
 ) where
     S: HasStorage + HasEcom + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, bool) + 'static,
+    E: EcomEvents<S>,
+    F: FnOnce(&mut S, &mut Sim<S, E>, bool) + 'static,
 {
     let Some(phase) = phases.pop_front() else {
         done(state, sim, true);
@@ -104,23 +107,25 @@ fn drive_phases<S, F>(
 /// Start the closed-loop clients; each runs until the app is stopped or the
 /// order cap is reached. Clients are staggered by a few microseconds so
 /// their first transactions do not collide artificially.
-pub fn start_clients<S>(state: &mut S, sim: &mut Sim<S>)
+pub fn start_clients<S, E>(state: &mut S, sim: &mut Sim<S, E>)
 where
     S: HasStorage + HasEcom + 'static,
+    E: EcomEvents<S>,
 {
     let n = state.ecom().gen.config.clients as u32;
     for client in 0..n {
-        sim.schedule_in(
+        sim.schedule_event_in(
             SimDuration::from_micros(client as u64 * 13),
-            move |s: &mut S, sim| client_txn(s, sim, client),
+            E::ecom(EcomOp::ClientThink { client }),
         );
     }
 }
 
 /// Execute one order transaction for `client`, then reschedule.
-pub fn client_txn<S>(state: &mut S, sim: &mut Sim<S>, client: u32)
+pub fn client_txn<S, E>(state: &mut S, sim: &mut Sim<S, E>, client: u32)
 where
     S: HasStorage + HasEcom + 'static,
+    E: EcomEvents<S>,
 {
     {
         let e = state.ecom();
@@ -183,7 +188,7 @@ where
             e.metrics.committed_orders += 1;
             e.metrics.committed_log.push((spec.order_id, now));
             let think = e.gen.think_time();
-            sim.schedule_in(think, move |s: &mut S, sim| client_txn(s, sim, client));
+            sim.schedule_event_in(think, E::ecom(EcomOp::ClientThink { client }));
         });
     });
 }

@@ -1,0 +1,51 @@
+//! Typed kernel events for the business-process driver.
+//!
+//! The closed-loop client lifecycle has exactly one self-scheduled hop —
+//! "wake this client and run its next transaction" — used both for the
+//! start-up stagger and for the post-commit think time. Carrying it as a
+//! plain enum variant instead of a boxed closure makes the steady-state
+//! client loop allocation-free on the kernel side.
+
+use tsuru_sim::{DynEvent, Event, Sim};
+use tsuru_storage::{HasStorage, StorageEvents};
+
+use crate::app::HasEcom;
+use crate::driver::client_txn;
+
+/// One scheduled step of the business-process driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcomOp {
+    /// Wake `client` and run its next order transaction (initial stagger
+    /// and post-commit think time both land here).
+    ClientThink {
+        /// Closed-loop client index.
+        client: u32,
+    },
+}
+
+impl EcomOp {
+    /// Fire this step.
+    pub fn dispatch<S, E>(self, state: &mut S, sim: &mut Sim<S, E>)
+    where
+        S: HasStorage + HasEcom + 'static,
+        E: EcomEvents<S>,
+    {
+        match self {
+            EcomOp::ClientThink { client } => client_txn(state, sim, client),
+        }
+    }
+}
+
+/// A kernel event type that can carry business-process steps (and, as a
+/// supertrait, the storage data-plane steps every transaction bottoms out
+/// in).
+pub trait EcomEvents<S>: StorageEvents<S> {
+    /// Wrap a driver step as a kernel event.
+    fn ecom(op: EcomOp) -> Self;
+}
+
+impl<S: HasStorage + HasEcom + 'static> EcomEvents<S> for DynEvent<S> {
+    fn ecom(op: EcomOp) -> Self {
+        DynEvent::from_fn(Box::new(move |s, sim| op.dispatch(s, sim)))
+    }
+}

@@ -20,6 +20,7 @@
 mod app;
 mod checker;
 pub mod driver;
+pub mod event;
 mod model;
 mod workload;
 
@@ -27,5 +28,6 @@ pub use app::{
     apply_plan_direct, install_db, seed_stock, DbInstance, EcomMetrics, EcomState, HasEcom,
 };
 pub use checker::{check_cross_db, order_rpo, InvariantReport, OrderRpo, Oversold};
+pub use event::{EcomEvents, EcomOp};
 pub use model::{OrderRow, StockRow, ORDERS_TABLE, STOCK_TABLE};
 pub use workload::{OrderSpec, WorkloadConfig, WorkloadGen};

@@ -350,7 +350,9 @@ impl BTree {
     ) -> Vec<IoRequest> {
         let mut ios = Vec::new();
         let root = self.root;
-        let (new_root, _) = self.flush_rec(root, alloc, lsn, &mut ios);
+        // One scratch page serves every node flushed this checkpoint.
+        let mut scratch = vec![0u8; crate::node::PAGE_SIZE];
+        let (new_root, _) = self.flush_rec(root, alloc, lsn, &mut ios, &mut scratch);
         self.root = new_root;
         self.dirty.clear();
         self.on_disk = self.nodes.keys().copied().collect();
@@ -364,6 +366,7 @@ impl BTree {
         alloc: &mut PageAllocator,
         lsn: u64,
         ios: &mut Vec<IoRequest>,
+        scratch: &mut [u8],
     ) -> (u64, bool) {
         // Recurse into children first (post-order) so parents can pick up
         // remapped ids.
@@ -373,7 +376,7 @@ impl BTree {
             let mut new_children = Vec::with_capacity(child_ids.len());
             let mut any_child_changed = false;
             for c in child_ids {
-                let (nc, changed) = self.flush_rec(c, alloc, lsn, ios);
+                let (nc, changed) = self.flush_rec(c, alloc, lsn, ios, scratch);
                 any_child_changed |= changed;
                 new_children.push(nc);
             }
@@ -400,11 +403,11 @@ impl BTree {
         } else {
             id
         };
-        let image = self.node(new_id).serialize(new_id, lsn);
+        self.node(new_id).serialize_into(new_id, lsn, scratch);
         ios.push(IoRequest {
             vol: DbVol::Data,
             lba: new_id,
-            data: tsuru_storage::block_from(&image),
+            data: tsuru_storage::block_from(scratch),
         });
         // A rewritten node always reports "changed" so ancestors re-serialize
         // their (possibly updated) child lists.

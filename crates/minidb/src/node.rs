@@ -9,7 +9,7 @@
 //! The CRC covers the whole page with the CRC field zeroed, so any torn or
 //! misdirected write is detected at load time.
 
-use crate::checksum::crc32;
+use crate::checksum::{crc32, crc32_update};
 use tsuru_storage::BLOCK_SIZE;
 
 /// Page size (equals the storage block size: one page = one block write).
@@ -99,11 +99,24 @@ impl Node {
     /// Panics if the node exceeds the page (a tree-logic bug, not a runtime
     /// condition).
     pub fn serialize(&self, page_id: u64, lsn: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.serialize_into(page_id, lsn, &mut buf);
+        buf
+    }
+
+    /// Serialize into a caller-provided page buffer, overwriting it fully —
+    /// a checkpoint reuses one scratch page for every flushed node instead
+    /// of allocating per page.
+    ///
+    /// # Panics
+    /// Panics if the node exceeds the page or `buf` is not page-sized.
+    pub fn serialize_into(&self, page_id: u64, lsn: u64, buf: &mut [u8]) {
         assert!(
             self.serialized_size() <= PAGE_SIZE,
             "node for page {page_id} overflows the page"
         );
-        let mut buf = vec![0u8; PAGE_SIZE];
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be page-sized");
+        buf.fill(0);
         buf[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
         let (kind, count) = match self {
             Node::Leaf { entries } => (KIND_LEAF, entries.len() as u16),
@@ -134,9 +147,8 @@ impl Node {
                 }
             }
         }
-        let crc = crc32(&buf);
+        let crc = crc32(buf);
         buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
-        buf
     }
 
     /// Deserialize a page image, verifying checksum and identity.
@@ -145,11 +157,14 @@ impl Node {
         if buf.len() != PAGE_SIZE {
             return Err(PageError::BadStructure(expect_page, "short page"));
         }
-        let mut check = buf.to_vec();
         let stored_crc =
             u32::from_le_bytes(buf[CRC_OFFSET..CRC_OFFSET + 4].try_into().expect("sized"));
-        check[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&[0; 4]);
-        if crc32(&check) != stored_crc {
+        // The CRC covers the page with its own field zeroed; stream over
+        // the surrounding spans instead of building a zeroed copy.
+        let st = crc32_update(0xFFFF_FFFF, &buf[..CRC_OFFSET]);
+        let st = crc32_update(st, &[0u8; 4]);
+        let st = crc32_update(st, &buf[CRC_OFFSET + 4..]);
+        if st ^ 0xFFFF_FFFF != stored_crc {
             return Err(PageError::BadChecksum(expect_page));
         }
         if u32::from_le_bytes(buf[0..4].try_into().expect("sized")) != NODE_MAGIC {

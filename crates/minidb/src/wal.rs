@@ -10,7 +10,7 @@
 
 use tsuru_storage::{BlockDevice, BLOCK_SIZE};
 
-use crate::checksum::crc32;
+use crate::checksum::crc32_update;
 use crate::io::{DbVol, IoRequest};
 
 const HEADER_BYTES: usize = 12; // epoch u32 | payload len u32 | crc u32
@@ -48,8 +48,7 @@ impl WalRecord {
         n
     }
 
-    fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len() - HEADER_BYTES);
+    fn encode_payload_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.lsn.to_le_bytes());
         out.extend_from_slice(&self.txid.to_le_bytes());
         out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
@@ -64,7 +63,6 @@ impl WalRecord {
                 None => out.push(0),
             }
         }
-        out
     }
 
     fn decode_payload(buf: &[u8]) -> Option<WalRecord> {
@@ -101,19 +99,30 @@ impl WalRecord {
     }
 }
 
-/// Encode a full record (header + payload) for the given epoch.
+/// Encode a full record (header + payload) for the given epoch: exactly one
+/// allocation, sized by [`WalRecord::encoded_len`].
 pub fn encode_record(epoch: u32, rec: &WalRecord) -> Vec<u8> {
-    let payload = rec.encode_payload();
-    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
-    out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    let mut crc_input = Vec::with_capacity(8 + payload.len());
-    crc_input.extend_from_slice(&epoch.to_le_bytes());
-    crc_input.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    crc_input.extend_from_slice(&payload);
-    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
-    out.extend_from_slice(&payload);
+    let mut out = Vec::with_capacity(rec.encoded_len());
+    encode_record_into(epoch, rec, &mut out);
     out
+}
+
+/// Append a full record to `out`, reserving exact capacity up front. The
+/// CRC streams over the header-prefix and payload spans in place, so no
+/// intermediate buffer is built.
+pub fn encode_record_into(epoch: u32, rec: &WalRecord, out: &mut Vec<u8>) {
+    let total = rec.encoded_len();
+    out.reserve(total);
+    let start = out.len();
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&((total - HEADER_BYTES) as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC, backpatched below
+    rec.encode_payload_into(out);
+    debug_assert_eq!(out.len() - start, total);
+    let mut st = crc32_update(0xFFFF_FFFF, &out[start..start + 8]);
+    st = crc32_update(st, &out[start + HEADER_BYTES..]);
+    let crc = st ^ 0xFFFF_FFFF;
+    out[start + 8..start + HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// The in-memory WAL tail: an image of the WAL volume for the current
@@ -124,6 +133,9 @@ pub struct WalWriter {
     capacity: usize,
     image: Vec<u8>,
     offset: usize,
+    // Encode scratch, reused across appends (capacity persists over epoch
+    // resets): steady-state appends allocate nothing for encoding.
+    scratch: Vec<u8>,
 }
 
 impl WalWriter {
@@ -136,6 +148,7 @@ impl WalWriter {
             capacity,
             image: vec![0; capacity],
             offset: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -173,10 +186,11 @@ impl WalWriter {
             self.offset,
             self.capacity
         );
-        let bytes = encode_record(self.epoch, rec);
+        self.scratch.clear();
+        encode_record_into(self.epoch, rec, &mut self.scratch);
         let start = self.offset;
-        self.image[start..start + bytes.len()].copy_from_slice(&bytes);
-        self.offset += bytes.len();
+        self.image[start..start + self.scratch.len()].copy_from_slice(&self.scratch);
+        self.offset += self.scratch.len();
 
         let first_block = start / BLOCK_SIZE;
         let last_block = (self.offset - 1) / BLOCK_SIZE;
@@ -229,10 +243,9 @@ pub fn scan_wal(dev: &dyn BlockDevice, wal_blocks: u64, epoch: u32) -> Vec<WalRe
             break;
         }
         let payload = &image[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
-        let mut crc_input = Vec::with_capacity(8 + len);
-        crc_input.extend_from_slice(&image[pos..pos + 8]);
-        crc_input.extend_from_slice(payload);
-        if crc32(&crc_input) != crc {
+        // Stream the CRC over the two covered spans — no scratch buffer.
+        let st = crc32_update(crc32_update(0xFFFF_FFFF, &image[pos..pos + 8]), payload);
+        if st ^ 0xFFFF_FFFF != crc {
             break;
         }
         match WalRecord::decode_payload(payload) {

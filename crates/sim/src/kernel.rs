@@ -1,71 +1,103 @@
 //! The discrete-event simulation kernel.
 //!
-//! A [`Sim<S>`] owns a time-ordered queue of events over an arbitrary user
-//! state `S`. Each event is a one-shot closure receiving `&mut S` and
-//! `&mut Sim<S>` so that handlers can mutate the world and schedule further
-//! events. Ties on the timestamp are broken by insertion order, which makes
-//! every run fully deterministic.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! A [`Sim<S, E>`] owns a time-ordered queue of events over an arbitrary
+//! user state `S`. The event type `E` implements [`Event`]: domain crates
+//! define plain enums dispatched by `match`, so the hot path schedules and
+//! fires events with **zero heap allocations**. The default event type,
+//! [`DynEvent`], is the classic boxed-closure escape hatch — `Sim<S>`
+//! (no second parameter) behaves exactly like the original closure kernel,
+//! and [`Sim::schedule_at`] / [`Sim::schedule_in`] accept closures for any
+//! event type via [`Event::from_fn`].
+//!
+//! Pending events live in a hierarchical timer wheel (see [`crate::wheel`])
+//! rather than a binary heap: O(1) amortized insert and pop, and cheap
+//! cancellation through [`TimerToken`]s. Ties on the timestamp are broken
+//! by insertion order (`seq`), which makes every run fully deterministic —
+//! the wheel pops in exactly the `(time, seq)` order the old heap did.
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
-/// A one-shot event handler.
-pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Sim<S>)>;
+/// A one-shot boxed event handler for kernels of event type `E`.
+pub type EventFn<S, E = DynEvent<S>> = Box<dyn FnOnce(&mut S, &mut Sim<S, E>)>;
 
-struct Scheduled<S> {
+/// A schedulable event for kernels over state `S`.
+///
+/// Implementations are typically enums whose [`Event::dispatch`] is a
+/// `match` calling straight into domain code — no allocation, no virtual
+/// call. Every implementation must also absorb a boxed closure
+/// ([`Event::from_fn`]) so generic helpers and tests can keep scheduling
+/// ad-hoc handlers (the `Dyn` escape-hatch variant).
+pub trait Event<S>: Sized + 'static {
+    /// Wrap a boxed closure as an event (the escape hatch used by
+    /// [`Sim::schedule_at`] and [`Sim::schedule_in`]).
+    fn from_fn(f: EventFn<S, Self>) -> Self;
+    /// Fire the event. Consumes it; handlers may mutate the world and
+    /// schedule further events.
+    fn dispatch(self, state: &mut S, sim: &mut Sim<S, Self>);
+}
+
+/// The default event type: a boxed one-shot closure. `Sim<S>` with this
+/// event type is API- and behavior-compatible with the original
+/// closure-only kernel (one allocation per scheduled event).
+pub struct DynEvent<S: 'static>(EventFn<S>);
+
+impl<S: 'static> Event<S> for DynEvent<S> {
+    #[inline]
+    fn from_fn(f: EventFn<S, Self>) -> Self {
+        DynEvent(f)
+    }
+    #[inline]
+    fn dispatch(self, state: &mut S, sim: &mut Sim<S, Self>) {
+        (self.0)(state, sim)
+    }
+}
+
+/// Handle to one scheduled event, returned by [`Sim::schedule_event_at`]
+/// and [`Sim::schedule_event_in`]. Pass to [`Sim::cancel`] to de-schedule.
+/// Tokens are cheap copies; a token for an event that already fired (or
+/// was already cancelled) is simply stale and cancels nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken {
     time: SimTime,
     seq: u64,
-    f: EventFn<S>,
 }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<S> Eq for Scheduled<S> {}
-
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl TimerToken {
+    /// The instant the event is scheduled to fire.
+    #[inline]
+    pub fn time(&self) -> SimTime {
+        self.time
     }
 }
 
-impl<S> Ord for Scheduled<S> {
-    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
-    /// equal timestamps pop in insertion (`seq`) order.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A deterministic discrete-event simulator over user state `S`.
-pub struct Sim<S> {
+/// A deterministic discrete-event simulator over user state `S` with
+/// event type `E` (default: boxed closures).
+pub struct Sim<S, E = DynEvent<S>> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<S>>,
+    wheel: TimerWheel<E>,
     next_seq: u64,
     executed: u64,
+    peak_pending: usize,
+    _state: std::marker::PhantomData<fn(&mut S)>,
 }
 
-impl<S> Default for Sim<S> {
+impl<S, E: Event<S>> Default for Sim<S, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S> Sim<S> {
+impl<S, E: Event<S>> Sim<S, E> {
     /// A simulator at time zero with an empty event queue.
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             next_seq: 0,
             executed: 0,
+            peak_pending: 0,
+            _state: std::marker::PhantomData,
         }
     }
 
@@ -84,15 +116,22 @@ impl<S> Sim<S> {
     /// Number of events currently pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.wheel.len()
     }
 
-    /// Schedule `f` to run at absolute time `t`.
+    /// High-water mark of the pending-event queue over the sim's lifetime.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Schedule event `ev` at absolute time `t`. Zero-allocation for
+    /// typed (non-`Dyn`) events. The returned token can cancel it.
     ///
     /// # Panics
     /// Panics if `t` is earlier than the current time — scheduling into the
     /// past would silently corrupt causality.
-    pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut S, &mut Sim<S>) + 'static) {
+    pub fn schedule_event_at(&mut self, t: SimTime, ev: E) -> TimerToken {
         assert!(
             t >= self.now,
             "cannot schedule event at {t} before current time {}",
@@ -100,18 +139,46 @@ impl<S> Sim<S> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled {
-            time: t,
-            seq,
-            f: Box::new(f),
-        });
+        self.wheel.push(t.as_nanos(), seq, ev);
+        if self.wheel.len() > self.peak_pending {
+            self.peak_pending = self.wheel.len();
+        }
+        TimerToken { time: t, seq }
     }
 
-    /// Schedule `f` to run `delay` after the current time.
+    /// Schedule event `ev` to fire `delay` after the current time.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, ev: E) -> TimerToken {
+        let t = self
+            .now
+            .checked_add(delay)
+            .expect("event time overflow: delay too large");
+        self.schedule_event_at(t, ev)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// was still pending (it will now never fire and its wheel slot is
+    /// reclaimed immediately); `false` if it already fired or was already
+    /// cancelled.
+    pub fn cancel(&mut self, token: TimerToken) -> bool {
+        self.wheel.cancel(token.time.as_nanos(), token.seq).is_some()
+    }
+
+    /// Schedule closure `f` to run at absolute time `t` (boxed escape
+    /// hatch; one allocation).
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time — scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut S, &mut Sim<S, E>) + 'static) {
+        self.schedule_event_at(t, E::from_fn(Box::new(f)));
+    }
+
+    /// Schedule closure `f` to run `delay` after the current time (boxed
+    /// escape hatch; one allocation).
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        f: impl FnOnce(&mut S, &mut Sim<S>) + 'static,
+        f: impl FnOnce(&mut S, &mut Sim<S, E>) + 'static,
     ) {
         let t = self
             .now
@@ -123,12 +190,13 @@ impl<S> Sim<S> {
     /// Run the single earliest pending event, advancing the clock to its
     /// timestamp. Returns `false` if the queue was empty.
     pub fn step(&mut self, state: &mut S) -> bool {
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.time >= self.now);
-                self.now = ev.time;
+        match self.wheel.pop() {
+            Some((when, _seq, ev)) => {
+                let t = SimTime::from_nanos(when);
+                debug_assert!(t >= self.now);
+                self.now = t;
                 self.executed += 1;
-                (ev.f)(state, self);
+                ev.dispatch(state, self);
                 true
             }
             None => false,
@@ -150,8 +218,8 @@ impl<S> Sim<S> {
             "run_until horizon {horizon} is before current time {}",
             self.now
         );
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > horizon {
+        while let Some(next) = self.wheel.next_time() {
+            if next > horizon.as_nanos() {
                 break;
             }
             self.step(state);
@@ -184,7 +252,7 @@ impl<S> Sim<S> {
 
     /// Drop all pending events (used when tearing a scenario down early).
     pub fn clear_pending(&mut self) {
-        self.queue.clear();
+        self.wheel.clear();
     }
 }
 
@@ -300,5 +368,68 @@ mod tests {
         let mut n = 0;
         sim.run(&mut n);
         assert_eq!(n, 0);
+    }
+
+    /// A minimal typed event: proves match-dispatched enums work end to
+    /// end, including the `Dyn` escape hatch alongside typed variants.
+    enum TickEvent {
+        Add(u32),
+        Dyn(EventFn<Vec<u32>, TickEvent>),
+    }
+
+    impl Event<Vec<u32>> for TickEvent {
+        fn from_fn(f: EventFn<Vec<u32>, Self>) -> Self {
+            TickEvent::Dyn(f)
+        }
+        fn dispatch(self, state: &mut Vec<u32>, sim: &mut Sim<Vec<u32>, Self>) {
+            match self {
+                TickEvent::Add(n) => {
+                    state.push(n);
+                    if n < 3 {
+                        sim.schedule_event_in(SimDuration::from_millis(1), TickEvent::Add(n + 1));
+                    }
+                }
+                TickEvent::Dyn(f) => f(state, sim),
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_interleave_with_dyn_closures() {
+        let mut sim: Sim<Vec<u32>, TickEvent> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_event_at(SimTime::from_millis(1), TickEvent::Add(1));
+        sim.schedule_at(SimTime::from_millis(2), |s: &mut Vec<u32>, _| s.push(99));
+        sim.run(&mut log);
+        // t=1: Add(1); t=2: the closure (scheduled first, lower seq) then
+        // Add(2); t=3: Add(3).
+        assert_eq!(log, vec![1, 99, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_events_never_fire_and_cancel_is_one_shot() {
+        let mut sim: Sim<Vec<u32>, TickEvent> = Sim::new();
+        let mut log = Vec::new();
+        let keep = sim.schedule_event_at(SimTime::from_millis(1), TickEvent::Add(10));
+        let kill = sim.schedule_event_at(SimTime::from_millis(2), TickEvent::Add(20));
+        assert_eq!(keep.time(), SimTime::from_millis(1));
+        assert!(sim.cancel(kill));
+        assert!(!sim.cancel(kill), "double-cancel must report stale");
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut log);
+        assert_eq!(log, vec![10]);
+        assert!(!sim.cancel(keep), "cancel after firing must report stale");
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut sim: Sim<u32> = Sim::new();
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(i + 1), |s: &mut u32, _| *s += 1);
+        }
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(sim.peak_pending(), 5);
+        assert_eq!(sim.pending(), 0);
     }
 }

@@ -38,8 +38,9 @@ mod metrics;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
-pub use kernel::{EventFn, Sim};
+pub use kernel::{DynEvent, Event, EventFn, Sim, TimerToken};
 pub use metrics::{Counter, Histogram, Summary, ThroughputReport, TimeSeries};
 pub use queue::{RatePipe, ServiceStation};
 pub use rng::{DetRng, Zipf};

@@ -1,0 +1,336 @@
+//! A hierarchical timer wheel: the kernel's pending-event store.
+//!
+//! Eleven levels of 64 slots each cover the full `u64` nanosecond range
+//! (64^11 = 2^66). Level 0 resolves single nanoseconds; each level above
+//! is 64× coarser. Insert and pop are O(1) amortized: an event is hashed
+//! to a slot by the bits of its deadline that differ from the wheel's
+//! `elapsed` cursor, and at most ten cascades (one per level) can touch it
+//! over its whole lifetime.
+//!
+//! Determinism contract: [`TimerWheel::pop`] yields entries in exactly
+//! ascending `(when, seq)` order — the same order a binary heap with a
+//! `(time, seq)` key would produce — which is what keeps simulation runs
+//! bit-identical to the old `BinaryHeap` kernel. The proof sketch lives
+//! alongside each method; DESIGN.md §10 has the full argument.
+//!
+//! Invariant at every public API boundary: every pending entry sits at
+//! `level_and_slot(entry.when)` computed against the *current* `elapsed`
+//! cursor. `elapsed` only advances inside [`TimerWheel::pop`], and a pop
+//! at level L re-homes exactly the entries of the drained slot (levels
+//! above L keep both their digit of `elapsed` and their slot index; levels
+//! below L were empty). That is what makes [`TimerWheel::cancel`] a pure
+//! recomputation and [`TimerWheel::next_time`] side-effect free.
+
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels; 64^11 ≥ 2^64 so any `u64` deadline fits.
+const LEVELS: usize = 11;
+/// Eagerly reserved capacity per slot, so pushing into a never-touched
+/// slot does not allocate. Steady-state workloads with fewer than this
+/// many co-resident entries per slot run allocation-free.
+const SLOT_PREALLOC: usize = 4;
+
+/// One pending event.
+struct Entry<T> {
+    when: u64,
+    seq: u64,
+    value: T,
+}
+
+/// A popped event: `(deadline, seq, value)`.
+pub(crate) type Popped<T> = (u64, u64, T);
+
+/// The wheel. `T` is the event payload type.
+pub(crate) struct TimerWheel<T> {
+    /// Cursor: the deadline of the most recently popped entry (or the
+    /// block start it cascaded to). Never exceeds any pending deadline.
+    elapsed: u64,
+    /// Total pending entries.
+    len: usize,
+    /// Per-level occupancy bitmaps: bit `s` set ⇔ `slot(level, s)` is
+    /// non-empty. Finding the next event is two `trailing_zeros` scans.
+    occupied: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, flattened; index `level * SLOTS + slot`.
+    slots: Vec<Vec<Entry<T>>>,
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            elapsed: 0,
+            len: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS)
+                .map(|_| Vec::with_capacity(SLOT_PREALLOC))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The slot for a deadline, measured against the current cursor: the
+    /// level is the highest 6-bit digit in which `when` and `elapsed`
+    /// differ, the slot is `when`'s digit at that level.
+    #[inline]
+    fn level_and_slot(&self, when: u64) -> (usize, usize) {
+        let masked = when ^ self.elapsed;
+        let level = if masked == 0 {
+            0
+        } else {
+            ((63 - masked.leading_zeros()) / LEVEL_BITS) as usize
+        };
+        let slot = ((when >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    #[inline]
+    fn bucket(&mut self, level: usize, slot: usize) -> &mut Vec<Entry<T>> {
+        &mut self.slots[level * SLOTS + slot]
+    }
+
+    /// Insert without touching `len` (shared by push and cascade).
+    #[inline]
+    fn place(&mut self, e: Entry<T>) {
+        let (level, slot) = self.level_and_slot(e.when);
+        self.occupied[level] |= 1 << slot;
+        self.bucket(level, slot).push(e);
+    }
+
+    /// Schedule `value` at `when`. `seq` must be the caller's unique,
+    /// monotonically assigned tie-breaker. `when` must be ≥ every deadline
+    /// popped so far (the kernel's schedule-into-the-past check enforces a
+    /// stronger condition: `when ≥ now ≥ elapsed`).
+    pub(crate) fn push(&mut self, when: u64, seq: u64, value: T) {
+        debug_assert!(when >= self.elapsed, "push({when}) behind cursor {}", self.elapsed);
+        self.place(Entry { when, seq, value });
+        self.len += 1;
+    }
+
+    /// The earliest pending deadline, without mutating anything.
+    ///
+    /// The global minimum lives in the lowest occupied slot of the lowest
+    /// occupied level: entries at level L differ from `elapsed` first at
+    /// digit L (all higher digits equal), so a lower level always means an
+    /// earlier deadline, and within a level a lower slot index does too.
+    pub(crate) fn next_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
+        let slot = self.occupied[level].trailing_zeros() as u64;
+        if level == 0 {
+            // A level-0 slot holds exactly one deadline per rotation:
+            // slot index == the deadline's low 6 bits, high bits == the
+            // cursor's. No scan needed.
+            Some((self.elapsed & !(SLOTS as u64 - 1)) | slot)
+        } else {
+            // Coarser slots mix deadlines; scan the bucket (short: one
+            // rotation's worth of a 64×-coarser digit).
+            self.slots[level * SLOTS + slot as usize]
+                .iter()
+                .map(|e| e.when)
+                .min()
+        }
+    }
+
+    /// Remove and return the earliest entry; ties broken by lowest `seq`.
+    ///
+    /// Cascades (a level-L pop re-homing its slot into levels < L) deliver
+    /// same-deadline entries in bucket order, which is *not* seq order, so
+    /// the level-0 pop scans its slot for the minimum seq. That scan is
+    /// what restores exact `(when, seq)` heap order.
+    pub(crate) fn pop(&mut self) -> Option<Popped<T>> {
+        loop {
+            if self.len == 0 {
+                return None;
+            }
+            let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                let idx = slot;
+                let bucket = &mut self.slots[idx];
+                let mut best = 0;
+                for i in 1..bucket.len() {
+                    if bucket[i].seq < bucket[best].seq {
+                        best = i;
+                    }
+                }
+                let e = bucket.swap_remove(best);
+                if bucket.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.len -= 1;
+                self.elapsed = e.when;
+                return Some((e.when, e.seq, e.value));
+            }
+            // Advance the cursor to the block start of this slot, then
+            // cascade its entries down. Every entry re-homes to a level
+            // strictly below `level` (it now agrees with `elapsed` on
+            // digit `level` and above), so the loop terminates.
+            let shift = level as u32 * LEVEL_BITS;
+            let upper = shift + LEVEL_BITS;
+            let high = if upper >= 64 {
+                0
+            } else {
+                (self.elapsed >> upper) << upper
+            };
+            self.elapsed = high | ((slot as u64) << shift);
+            self.occupied[level] &= !(1u64 << slot);
+            let idx = level * SLOTS + slot;
+            let mut moved = std::mem::take(&mut self.slots[idx]);
+            for e in moved.drain(..) {
+                self.place(e);
+            }
+            // Give the (now empty) bucket its allocation back so the
+            // cascade path stays allocation-free in steady state.
+            self.slots[idx] = moved;
+        }
+    }
+
+    /// Cancel the pending entry `(when, seq)`. Returns its payload, or
+    /// `None` if no such entry is pending (already fired or cancelled).
+    ///
+    /// The entry, if live, is exactly at `level_and_slot(when)` under the
+    /// current cursor (see the module invariant), so this is one bucket
+    /// scan plus a `swap_remove` — the slot is reclaimed immediately.
+    pub(crate) fn cancel(&mut self, when: u64, seq: u64) -> Option<T> {
+        if self.len == 0 || when < self.elapsed {
+            return None;
+        }
+        let (level, slot) = self.level_and_slot(when);
+        let idx = level * SLOTS + slot;
+        let pos = self.slots[idx]
+            .iter()
+            .position(|e| e.seq == seq && e.when == when)?;
+        let e = self.slots[idx].swap_remove(pos);
+        if self.slots[idx].is_empty() {
+            self.occupied[level] &= !(1u64 << slot);
+        }
+        self.len -= 1;
+        Some(e.value)
+    }
+
+    /// Drop every pending entry, retaining bucket capacity. The cursor is
+    /// kept: deadlines already popped stay in the past.
+    pub(crate) fn clear(&mut self) {
+        for b in &mut self.slots {
+            b.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((when, seq, _)) = w.pop() {
+            out.push((when, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(300, 0, 0);
+        w.push(100, 1, 0);
+        w.push(100, 2, 0);
+        w.push(200, 3, 0);
+        assert_eq!(w.next_time(), Some(100));
+        assert_eq!(drain(&mut w), vec![(100, 1), (100, 2), (200, 3), (300, 0)]);
+    }
+
+    #[test]
+    fn same_time_entries_pop_in_seq_order_across_cascades() {
+        let mut w = TimerWheel::new();
+        // Far enough out to land on a high level, forcing cascades.
+        let t = 1 << 30;
+        for seq in 0..10 {
+            w.push(t, seq, seq as u32);
+        }
+        // Interleave: pop an early event so the cursor moves, then add
+        // more same-time entries that initially land on lower levels.
+        w.push(5, 100, 0);
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((5, 100)));
+        for seq in 10..20 {
+            w.push(t, seq, seq as u32);
+        }
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(order, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn next_time_is_stable_and_non_mutating() {
+        let mut w = TimerWheel::new();
+        w.push(1 << 40, 0, 7);
+        for _ in 0..3 {
+            assert_eq!(w.next_time(), Some(1 << 40));
+        }
+        // A later, nearer push must still land correctly after the peeks.
+        w.push(3, 1, 8);
+        assert_eq!(w.next_time(), Some(3));
+        assert_eq!(drain(&mut w), vec![(3, 1), (1 << 40, 0)]);
+    }
+
+    #[test]
+    fn cancel_removes_entry_and_reclaims_slot() {
+        let mut w = TimerWheel::new();
+        w.push(50, 0, 10);
+        w.push(50, 1, 11);
+        w.push(9_000_000, 2, 12);
+        assert_eq!(w.cancel(50, 0), Some(10));
+        assert_eq!(w.len(), 2);
+        // Cancelling again (or with a wrong key) is a no-op.
+        assert_eq!(w.cancel(50, 0), None);
+        assert_eq!(w.cancel(51, 1), None);
+        assert_eq!(drain(&mut w), vec![(50, 1), (9_000_000, 2)]);
+        // Cancelled slot fully reclaimed: empty wheel pops nothing.
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), None);
+    }
+
+    #[test]
+    fn cancel_after_cascade_still_finds_entry() {
+        let mut w = TimerWheel::new();
+        let far = (1 << 24) + 17;
+        w.push(far, 0, 1);
+        w.push(1 << 24, 1, 2);
+        // Popping the block start cascades `far` down a level.
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((1 << 24, 1)));
+        assert_eq!(w.cancel(far, 0), Some(1));
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn clear_retains_cursor() {
+        let mut w = TimerWheel::new();
+        w.push(100, 0, 1);
+        assert!(w.pop().is_some());
+        w.push(200, 1, 2);
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_time(), None);
+        // Cursor survives: a fresh push behind it would be a bug the
+        // debug_assert catches; at or ahead of it is fine.
+        w.push(100, 2, 3);
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((100, 2)));
+    }
+
+    #[test]
+    fn zero_time_and_max_range() {
+        let mut w = TimerWheel::new();
+        w.push(0, 0, 1);
+        w.push(u64::MAX, 1, 2);
+        assert_eq!(w.next_time(), Some(0));
+        assert_eq!(drain(&mut w), vec![(0, 0), (u64::MAX, 1)]);
+    }
+}

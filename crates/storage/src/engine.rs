@@ -3,8 +3,12 @@
 //! Every function here is generic over the simulation state `S:
 //! [`HasStorage`]`, so higher layers can embed the
 //! [`StorageWorld`](crate::StorageWorld) in a
-//! larger world struct. The flow for one asynchronously replicated write
-//! (the paper's §III-A1):
+//! larger world struct, and over the kernel event type `E:
+//! [`StorageEvents`]`, so every scheduled hop is a typed
+//! [`StorageOp`](crate::event::StorageOp) dispatched by match — zero
+//! allocations per event — while closure-kernel worlds (`Sim<World>`)
+//! keep working through the boxed escape hatch. The flow for one
+//! asynchronously replicated write (the paper's §III-A1):
 //!
 //! ```text
 //! host_write ──service──▶ persist: journal.append + volume write + ACK
@@ -29,6 +33,7 @@ use tsuru_telemetry::{names, spans, SpanId};
 use crate::array::WriteError;
 use crate::block::{content_hash, BlockBuf, GroupId, PairId, VolRef, BLOCK_SIZE};
 use crate::config::JournalFullPolicy;
+use crate::event::{LegCb, StorageEvents, StorageOp, WriteCb};
 use crate::fabric::{GroupMode, SuspendReason};
 use crate::journal::JournalEntry;
 use crate::world::HasStorage;
@@ -78,18 +83,29 @@ impl WriteAck {
     }
 }
 
+/// Outcome of one synchronous replication leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegDone {
+    /// The backup array persisted the block and acknowledged in time.
+    Ok,
+    /// The leg degraded (suspended group, down link, failed array); the
+    /// host write completes as [`WriteAck::Degraded`].
+    Degraded,
+}
+
 /// Submit a block write from a host. `cb` fires when the array
 /// acknowledges (or rejects) the write.
-pub fn host_write<S, F>(
+pub fn host_write<S, E, F>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     vol: VolRef,
     lba: u64,
     data: BlockBuf,
     cb: F,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, WriteAck) + 'static,
+    E: StorageEvents<S>,
+    F: FnOnce(&mut S, &mut Sim<S, E>, WriteAck) + 'static,
 {
     assert_eq!(data.len(), BLOCK_SIZE, "host writes are whole blocks");
     let now = sim.now();
@@ -103,92 +119,108 @@ pub fn host_write<S, F>(
         st.metrics.inc(names::WRITES_FAILED);
         st.tracer
             .span_end(spans::HOST_WRITE, span, now, || vec![("ack", "failed".into())]);
-        sim.schedule_in(SimDuration::ZERO, move |s, sim| {
-            cb(s, sim, WriteAck::Failed(e));
-        });
+        sim.schedule_event_in(
+            SimDuration::ZERO,
+            E::storage(StorageOp::AckNow {
+                ack: WriteAck::Failed(e),
+                cb: Box::new(cb),
+            }),
+        );
         return;
     }
     let service = st.array(vol.array).perf().write_service;
     let done = st.array_mut(vol.array).admit(vol.volume, now, service);
     let ticket = st.issue_write_ticket(vol);
-    sim.schedule_at(done, move |s, sim| {
-        persist(s, sim, vol, lba, data, now, ticket, span, cb)
-    });
+    sim.schedule_event_at(
+        done,
+        E::storage(StorageOp::Persist {
+            vol,
+            lba,
+            data,
+            issued: now,
+            ticket,
+            span,
+            cb: Box::new(cb),
+        }),
+    );
 }
 
 /// Submit a block read from a host; `cb` receives the content (`None` for a
 /// never-written block or a failed array).
-pub fn host_read<S, F>(state: &mut S, sim: &mut Sim<S>, vol: VolRef, lba: u64, cb: F)
+pub fn host_read<S, E, F>(state: &mut S, sim: &mut Sim<S, E>, vol: VolRef, lba: u64, cb: F)
 where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, Option<BlockBuf>) + 'static,
+    E: StorageEvents<S>,
+    F: FnOnce(&mut S, &mut Sim<S, E>, Option<BlockBuf>) + 'static,
 {
     let now = sim.now();
     let st = state.storage_mut();
     if st.array(vol.array).is_failed() {
-        sim.schedule_in(SimDuration::ZERO, move |s, sim| cb(s, sim, None));
+        sim.schedule_event_in(
+            SimDuration::ZERO,
+            E::storage(StorageOp::ReadFail { cb: Box::new(cb) }),
+        );
         return;
     }
     let service = st.array(vol.array).perf().read_service;
     let done = st.array_mut(vol.array).admit(vol.volume, now, service);
-    sim.schedule_at(done, move |s, sim| {
-        let data = s
-            .storage()
-            .array(vol.array)
-            .read_block(vol.volume, lba)
-            .cloned();
-        cb(s, sim, data);
-    });
+    sim.schedule_event_at(
+        done,
+        E::storage(StorageOp::ReadDone {
+            vol,
+            lba,
+            cb: Box::new(cb),
+        }),
+    );
 }
 
 /// Submit a block read against a snapshot image; timing is charged to the
 /// base volume's station (the snapshot shares the base's spindles). `cb`
 /// receives the point-in-time content.
-pub fn host_read_snapshot<S, F>(
+pub fn host_read_snapshot<S, E, F>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     array: crate::block::ArrayId,
     snap: crate::block::SnapshotId,
     lba: u64,
     cb: F,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, Option<BlockBuf>) + 'static,
+    E: StorageEvents<S>,
+    F: FnOnce(&mut S, &mut Sim<S, E>, Option<BlockBuf>) + 'static,
 {
     let now = sim.now();
     let st = state.storage_mut();
     if st.array(array).is_failed() {
-        sim.schedule_in(SimDuration::ZERO, move |s, sim| cb(s, sim, None));
+        sim.schedule_event_in(
+            SimDuration::ZERO,
+            E::storage(StorageOp::ReadFail { cb: Box::new(cb) }),
+        );
         return;
     }
     let base = st.array(array).snapshot(snap).base_volume();
     let service = st.array(array).perf().read_service;
     let done = st.array_mut(array).admit(base, now, service);
-    sim.schedule_at(done, move |s, sim| {
-        let data = s
-            .storage()
-            .array(array)
-            .read_snapshot_block(snap, lba)
-            .cloned();
-        cb(s, sim, data);
-    });
+    sim.schedule_event_at(
+        done,
+        E::storage(StorageOp::SnapReadDone {
+            array,
+            snap,
+            lba,
+            cb: Box::new(cb),
+        }),
+    );
 }
 
 enum PersistNext {
     Ack(WriteAck),
-    Stall(SimDuration),
+    Stall(SimDuration, BlockBuf),
     Legs {
+        data: BlockBuf,
         adc_kicks: Vec<GroupId>,
         sdc_legs: Vec<(GroupId, PairId)>,
         any_degraded: bool,
     },
-}
-
-/// Outcome of one synchronous replication leg.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LegDone {
-    Ok,
-    Degraded,
 }
 
 /// The array's cache-persist step, at the end of the front-end service
@@ -196,19 +228,19 @@ enum LegDone {
 /// topologies: metro SDC plus WAN ADC); the host acknowledgement waits for
 /// every synchronous leg, while asynchronous legs only journal.
 #[allow(clippy::too_many_arguments)]
-fn persist<S, F>(
+pub(crate) fn persist<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     vol: VolRef,
     lba: u64,
     data: BlockBuf,
     issued: SimTime,
     ticket: u64,
     span: SpanId,
-    cb: F,
+    cb: WriteCb<S, E>,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, WriteAck) + 'static,
+    E: StorageEvents<S>,
 {
     let now = sim.now();
     let hash = content_hash(&data);
@@ -223,7 +255,7 @@ fn persist<S, F>(
             st.metrics.inc(names::WRITE_ORDER_WAITS);
             st.tracer
                 .instant(spans::TICKET_WAIT, now, span, || vec![("ticket", ticket.into())]);
-            PersistNext::Stall(st.config.journal_stall_retry)
+            PersistNext::Stall(st.config.journal_stall_retry, data)
         } else if st.array(vol.array).is_failed() {
             st.retire_write_ticket(vol);
             st.metrics.inc(names::WRITES_FAILED);
@@ -232,7 +264,7 @@ fn persist<S, F>(
             let pids: Vec<PairId> = st.fabric.pairs_by_primary(vol).to_vec();
             if pids.is_empty() {
                 st.retire_write_ticket(vol);
-                let global = st.commit_local(now, vol, lba, data.clone(), hash);
+                let global = st.commit_local(now, vol, lba, data, hash);
                 PersistNext::Ack(WriteAck::Ok {
                     latency: now - issued,
                     global,
@@ -264,7 +296,7 @@ fn persist<S, F>(
                         let gid = st.fabric.pair(pid).group;
                         st.fabric.group_mut(gid).stats.journal_stalls += 1;
                     }
-                    PersistNext::Stall(st.config.journal_stall_retry)
+                    PersistNext::Stall(st.config.journal_stall_retry, data)
                 } else {
                     // Pass 2 — persist the primary copy once. The write is
                     // past admission, so the volume's turn advances.
@@ -329,6 +361,7 @@ fn persist<S, F>(
                         }
                     }
                     PersistNext::Legs {
+                        data,
                         adc_kicks,
                         sdc_legs,
                         any_degraded,
@@ -346,12 +379,25 @@ fn persist<S, F>(
                 .span_end(spans::HOST_WRITE, span, now, || vec![("ack", label.into())]);
             cb(state, sim, ack)
         }
-        PersistNext::Stall(d) => {
-            sim.schedule_in(d, move |s, sim| {
-                persist(s, sim, vol, lba, data, issued, ticket, span, cb)
-            });
+        PersistNext::Stall(d, data) => {
+            // The callback box rides along: a stalled retry costs zero
+            // allocations, where the closure kernel re-boxed the whole
+            // capture per attempt.
+            sim.schedule_event_in(
+                d,
+                E::storage(StorageOp::Persist {
+                    vol,
+                    lba,
+                    data,
+                    issued,
+                    ticket,
+                    span,
+                    cb,
+                }),
+            );
         }
         PersistNext::Legs {
+            data,
             adc_kicks,
             sdc_legs,
             any_degraded,
@@ -380,7 +426,8 @@ fn persist<S, F>(
                 // Synchronous legs hold the host acknowledgement.
                 let remaining = Rc::new(Cell::new(sdc_legs.len()));
                 let degraded = Rc::new(Cell::new(any_degraded));
-                let host_cb: Rc<RefCell<Option<F>>> = Rc::new(RefCell::new(Some(cb)));
+                let host_cb: Rc<RefCell<Option<WriteCb<S, E>>>> =
+                    Rc::new(RefCell::new(Some(cb)));
                 for (gid, pid) in sdc_legs {
                     let remaining = Rc::clone(&remaining);
                     let degraded = Rc::clone(&degraded);
@@ -393,7 +440,7 @@ fn persist<S, F>(
                         vol,
                         lba,
                         data.clone(),
-                        move |s, sim, done| {
+                        Box::new(move |s, sim, done| {
                             if done == LegDone::Degraded {
                                 degraded.set(true);
                             }
@@ -423,7 +470,7 @@ fn persist<S, F>(
                                     .expect("host callback fires exactly once");
                                 cb(s, sim, ack);
                             }
-                        },
+                        }),
                     );
                 }
             }
@@ -436,19 +483,19 @@ fn persist<S, F>(
 
 /// Send one synchronous leg's frame (retrying on loss); the leg callback
 /// fires exactly once when the leg completes or degrades.
-#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
-fn sdc_leg_send<S, F>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sdc_leg_send<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     gid: GroupId,
     pid: PairId,
     vol: VolRef,
     lba: u64,
     data: BlockBuf,
-    leg_cb: F,
+    leg_cb: LegCb<S, E>,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+    E: StorageEvents<S>,
 {
     let now = sim.now();
     enum R {
@@ -480,28 +527,47 @@ fn sdc_leg_send<S, F>(
         }
     };
     match r {
-        R::Arrive(at) => sim.schedule_at(at, move |s, sim| {
-            sdc_leg_arrive(s, sim, gid, pid, lba, data, leg_cb);
-        }),
-        R::Retry(d) => sim.schedule_in(d, move |s, sim| {
-            sdc_leg_send(s, sim, gid, pid, vol, lba, data, leg_cb);
-        }),
+        R::Arrive(at) => {
+            sim.schedule_event_at(
+                at,
+                E::storage(StorageOp::SdcArrive {
+                    gid,
+                    pid,
+                    lba,
+                    data,
+                    cb: leg_cb,
+                }),
+            );
+        }
+        R::Retry(d) => {
+            sim.schedule_event_in(
+                d,
+                E::storage(StorageOp::SdcSend {
+                    gid,
+                    pid,
+                    vol,
+                    lba,
+                    data,
+                    cb: leg_cb,
+                }),
+            );
+        }
         R::Degraded => leg_cb(state, sim, LegDone::Degraded),
     }
 }
 
 /// An SDC frame reached the backup array.
-fn sdc_leg_arrive<S, F>(
+pub(crate) fn sdc_leg_arrive<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     gid: GroupId,
     pid: PairId,
     lba: u64,
     data: BlockBuf,
-    leg_cb: F,
+    leg_cb: LegCb<S, E>,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+    E: StorageEvents<S>,
 {
     let now = sim.now();
     enum A {
@@ -525,26 +591,35 @@ fn sdc_leg_arrive<S, F>(
         }
     };
     match a {
-        A::Persist(done) => sim.schedule_at(done, move |s, sim| {
-            sdc_leg_done(s, sim, gid, pid, lba, data, leg_cb);
-        }),
+        A::Persist(done) => {
+            sim.schedule_event_at(
+                done,
+                E::storage(StorageOp::SdcPersisted {
+                    gid,
+                    pid,
+                    lba,
+                    data,
+                    cb: leg_cb,
+                }),
+            );
+        }
         A::Degraded => leg_cb(state, sim, LegDone::Degraded),
     }
 }
 
 /// The backup array persisted an SDC block; acknowledge across the reverse
 /// link.
-fn sdc_leg_done<S, F>(
+pub(crate) fn sdc_leg_done<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     gid: GroupId,
     pid: PairId,
     lba: u64,
     data: BlockBuf,
-    leg_cb: F,
+    leg_cb: LegCb<S, E>,
 ) where
     S: HasStorage + 'static,
-    F: FnOnce(&mut S, &mut Sim<S>, LegDone) + 'static,
+    E: StorageEvents<S>,
 {
     let now = sim.now();
     enum D {
@@ -572,10 +647,9 @@ fn sdc_leg_done<S, F>(
         }
     };
     match d {
-        D::AckAt(at) => sim.schedule_at(at, move |s, sim| {
-            s.storage_mut().fabric.pair_mut(pid).acked_writes += 1;
-            leg_cb(s, sim, LegDone::Ok);
-        }),
+        D::AckAt(at) => {
+            sim.schedule_event_at(at, E::storage(StorageOp::SdcAck { pid, cb: leg_cb }));
+        }
         D::Degraded => {
             state.storage_mut().fabric.pair_mut(pid).acked_writes += 1;
             leg_cb(state, sim, LegDone::Degraded);
@@ -585,12 +659,11 @@ fn sdc_leg_done<S, F>(
 
 /// Schedule a transfer-pump cycle for an ADC group if one is not already
 /// pending. `delay` overrides the jittered pump interval.
-pub fn kick_transfer<S: HasStorage + 'static>(
-    state: &mut S,
-    sim: &mut Sim<S>,
-    gid: GroupId,
-    delay: Option<SimDuration>,
-) {
+pub fn kick_transfer<S, E>(state: &mut S, sim: &mut Sim<S, E>, gid: GroupId, delay: Option<SimDuration>)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let st = state.storage_mut();
     {
         let g = st.fabric.group_mut(gid);
@@ -604,15 +677,14 @@ pub fn kick_transfer<S: HasStorage + 'static>(
         Some(d) => d,
         None => st.pump_delay(gid),
     };
-    sim.schedule_in(d, move |s, sim| run_transfer(s, sim, gid, gen));
+    sim.schedule_event_in(d, E::storage(StorageOp::RunTransfer { gid, gen }));
 }
 
-fn run_transfer<S: HasStorage + 'static>(
-    state: &mut S,
-    sim: &mut Sim<S>,
-    gid: GroupId,
-    gen: u32,
-) {
+pub(crate) fn run_transfer<S, E>(state: &mut S, sim: &mut Sim<S, E>, gid: GroupId, gen: u32)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let now = sim.now();
     if state.storage().fabric.group(gid).generation != gen {
         return; // stale epoch: a resync/promote superseded this pump
@@ -731,19 +803,26 @@ fn run_transfer<S: HasStorage + 'static>(
             arrive_at,
             serialized,
         } => {
-            sim.schedule_at(arrive_at, move |s, sim| {
-                receive_batch(s, sim, gid, batch, serialized, gen)
-            });
+            // The batch vector moves into the event — no per-frame copy.
+            sim.schedule_event_at(
+                arrive_at,
+                E::storage(StorageOp::ReceiveBatch {
+                    gid,
+                    batch,
+                    serialized,
+                    gen,
+                }),
+            );
             let d = state.storage_mut().pump_delay(gid);
             kick_transfer(state, sim, gid, Some(d));
         }
         T::RetryIn(d) => {
             state.storage_mut().fabric.group_mut(gid).pump_scheduled = true;
-            sim.schedule_in(d, move |s, sim| run_transfer(s, sim, gid, gen));
+            sim.schedule_event_in(d, E::storage(StorageOp::RunTransfer { gid, gen }));
         }
         T::RetryAt(t) => {
             state.storage_mut().fabric.group_mut(gid).pump_scheduled = true;
-            sim.schedule_at(t, move |s, sim| run_transfer(s, sim, gid, gen));
+            sim.schedule_event_at(t, E::storage(StorageOp::RunTransfer { gid, gen }));
         }
     }
 }
@@ -752,14 +831,17 @@ fn run_transfer<S: HasStorage + 'static>(
 /// `serialized` is the instant the frame's last bit left the main site: if
 /// the main site failed before then, the frame never really made it out and
 /// is discarded here.
-fn receive_batch<S: HasStorage + 'static>(
+pub(crate) fn receive_batch<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     gid: GroupId,
     batch: Vec<JournalEntry>,
     serialized: SimTime,
     gen: u32,
-) {
+) where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let now = sim.now();
     {
         let st = state.storage_mut();
@@ -826,12 +908,11 @@ fn receive_batch<S: HasStorage + 'static>(
 }
 
 /// Schedule an apply-pump cycle for an ADC group if one is not pending.
-pub fn kick_apply<S: HasStorage + 'static>(
-    state: &mut S,
-    sim: &mut Sim<S>,
-    gid: GroupId,
-    delay: Option<SimDuration>,
-) {
+pub fn kick_apply<S, E>(state: &mut S, sim: &mut Sim<S, E>, gid: GroupId, delay: Option<SimDuration>)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     {
         let st = state.storage_mut();
         let g = st.fabric.group_mut(gid);
@@ -841,12 +922,17 @@ pub fn kick_apply<S: HasStorage + 'static>(
         g.apply_scheduled = true;
     }
     let gen = state.storage().fabric.group(gid).generation;
-    sim.schedule_in(delay.unwrap_or(SimDuration::ZERO), move |s, sim| {
-        run_apply(s, sim, gid, gen)
-    });
+    sim.schedule_event_in(
+        delay.unwrap_or(SimDuration::ZERO),
+        E::storage(StorageOp::RunApply { gid, gen }),
+    );
 }
 
-fn run_apply<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>, gid: GroupId, gen: u32) {
+pub(crate) fn run_apply<S, E>(state: &mut S, sim: &mut Sim<S, E>, gid: GroupId, gen: u32)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let now = sim.now();
     if state.storage().fabric.group(gid).generation != gen {
         return;
@@ -882,17 +968,27 @@ fn run_apply<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>, gid: Grou
     };
     if let Some(done) = done_at {
         state.storage_mut().fabric.group_mut(gid).apply_scheduled = true;
-        sim.schedule_at(done, move |s, sim| finish_apply(s, sim, gid, gen, now));
+        sim.schedule_event_at(
+            done,
+            E::storage(StorageOp::FinishApply {
+                gid,
+                gen,
+                started: now,
+            }),
+        );
     }
 }
 
-fn finish_apply<S: HasStorage + 'static>(
+pub(crate) fn finish_apply<S, E>(
     state: &mut S,
-    sim: &mut Sim<S>,
+    sim: &mut Sim<S, E>,
     gid: GroupId,
     gen: u32,
     started: SimTime,
-) {
+) where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let now = sim.now();
     if state.storage().fabric.group(gid).generation != gen {
         return;
@@ -947,22 +1043,29 @@ fn finish_apply<S: HasStorage + 'static>(
         }
     };
     if let Some((upto, t)) = ack {
-        sim.schedule_at(t, move |s, sim| {
-            let _ = sim;
-            let st = s.storage_mut();
-            if st.fabric.group(gid).generation != gen {
-                return;
-            }
-            if let Some(jid) = st.fabric.group(gid).primary_jnl {
-                st.fabric.journal_mut(jid).release_upto(upto);
-            }
-        });
+        sim.schedule_event_at(t, E::storage(StorageOp::ReleaseUpto { gid, gen, upto }));
     }
     kick_apply(state, sim, gid, None);
 }
 
+/// The applied-ack frame arrived: free primary-journal entries up to the
+/// acknowledged sequence (unless a resync/promote superseded the epoch).
+pub(crate) fn release_primary_upto<S: HasStorage>(state: &mut S, gid: GroupId, gen: u32, upto: u64) {
+    let st = state.storage_mut();
+    if st.fabric.group(gid).generation != gen {
+        return;
+    }
+    if let Some(jid) = st.fabric.group(gid).primary_jnl {
+        st.fabric.journal_mut(jid).release_upto(upto);
+    }
+}
+
 /// Restart every parked pump (after healing links or resuming groups).
-pub fn kick_all_pumps<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) {
+pub fn kick_all_pumps<S, E>(state: &mut S, sim: &mut Sim<S, E>)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     let gids = state.storage_mut().fabric.group_ids();
     for gid in gids {
         kick_transfer(state, sim, gid, Some(SimDuration::ZERO));
@@ -977,18 +1080,22 @@ pub fn kick_all_pumps<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) 
 /// link; nothing restarts it until a new append arrives. Healing through
 /// this function — rather than calling `Link::set_up` directly — is what
 /// guarantees a group that went silent during the outage resumes draining.
-pub fn heal_link<S: HasStorage + 'static>(
-    state: &mut S,
-    sim: &mut Sim<S>,
-    link: tsuru_simnet::LinkId,
-) {
+pub fn heal_link<S, E>(state: &mut S, sim: &mut Sim<S, E>, link: tsuru_simnet::LinkId)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     state.storage_mut().net.link_mut(link).set_up();
     kick_all_pumps(state, sim);
 }
 
 /// Bring every link back up and restart every parked pump (cluster-wide
 /// heal after a full network partition).
-pub fn heal_all_links<S: HasStorage + 'static>(state: &mut S, sim: &mut Sim<S>) {
+pub fn heal_all_links<S, E>(state: &mut S, sim: &mut Sim<S, E>)
+where
+    S: HasStorage + 'static,
+    E: StorageEvents<S>,
+{
     state.storage_mut().net.heal_all();
     kick_all_pumps(state, sim);
 }

@@ -189,22 +189,31 @@ impl Journal {
     /// (at least one entry if any is unsent, so a single oversized entry
     /// cannot wedge the pump). Does not advance the `sent` watermark.
     pub fn peek_unsent(&self, max_entries: usize, max_bytes: u64) -> Vec<JournalEntry> {
-        let mut out = Vec::new();
+        // Sequence numbers are contiguous within the deque, so the first
+        // unsent entry sits at a computable offset — no scan over the
+        // already-sent prefix.
+        let start = match self.entries.front() {
+            Some(front) => (self.sent + 1).saturating_sub(front.seq) as usize,
+            None => return Vec::new(),
+        };
+        // Pass 1: find the batch boundary without cloning anything.
+        let mut take = 0usize;
         let mut bytes = 0u64;
-        for e in &self.entries {
-            if e.seq <= self.sent {
-                continue;
-            }
+        for e in self.entries.iter().skip(start) {
             let sz = self.entry_size(e.data.len());
-            if !out.is_empty() && (out.len() >= max_entries || bytes + sz > max_bytes) {
+            if take > 0 && (take >= max_entries || bytes + sz > max_bytes) {
                 break;
             }
             bytes += sz;
-            out.push(e.clone());
-            if out.len() >= max_entries || bytes >= max_bytes {
+            take += 1;
+            if take >= max_entries || bytes >= max_bytes {
                 break;
             }
         }
+        // Pass 2: one exact allocation; the entry clones themselves are
+        // cheap (`Bytes` payloads clone by refcount).
+        let mut out = Vec::with_capacity(take);
+        out.extend(self.entries.iter().skip(start).take(take).cloned());
         out
     }
 

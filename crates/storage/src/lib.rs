@@ -26,6 +26,7 @@ mod block;
 mod config;
 mod device;
 pub mod engine;
+pub mod event;
 mod fabric;
 mod journal;
 mod pool;
@@ -43,8 +44,10 @@ pub use block::{
 pub use config::{EngineConfig, JournalFullPolicy};
 pub use device::{BlockDevice, BlockDeviceMut, MemDevice, SnapshotView, VolumeView};
 pub use engine::{
-    heal_all_links, heal_link, host_read, host_read_snapshot, host_write, kick_all_pumps, WriteAck,
+    heal_all_links, heal_link, host_read, host_read_snapshot, host_write, kick_all_pumps, LegDone,
+    WriteAck,
 };
+pub use event::{LegCb, ReadCb, StorageEvents, StorageOp, WriteCb};
 pub use fabric::{
     Group, GroupMode, GroupState, GroupStats, Pair, ReplicationFabric, SuspendReason,
 };
