@@ -51,6 +51,19 @@ pub struct Violation {
     pub trace: Vec<String>,
 }
 
+/// Summary of the client-visible history judgement for one trial.
+/// Present only on trials that ran with history recording enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistorySummary {
+    /// Records in the judged history.
+    pub records: u64,
+    /// Operations judged across every applicable checker.
+    pub ops_checked: u64,
+    /// Client-visible anomalies found (each is also a `client-history`
+    /// violation in the report).
+    pub anomalies: u64,
+}
+
 /// The auditor's verdict for one chaos trial.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChaosReport {
@@ -66,6 +79,8 @@ pub struct ChaosReport {
     pub audits: u64,
     /// Orders committed by the workload.
     pub committed_orders: u64,
+    /// Client-visible history judgement (history trials only).
+    pub history: Option<HistorySummary>,
     /// Every violation observed, in audit order.
     pub violations: Vec<Violation>,
 }
@@ -89,6 +104,15 @@ impl ChaosReport {
             self.committed_orders,
             self.violations.len(),
         );
+        // The history line only appears on history-judged trials, so
+        // plain chaos renders stay byte-identical to the pre-history
+        // format.
+        if let Some(h) = &self.history {
+            out.push_str(&format!(
+                "  history records={} ops_checked={} anomalies={}\n",
+                h.records, h.ops_checked, h.anomalies
+            ));
+        }
         for v in &self.violations {
             out.push_str(&format!("  {:>12} {:<22} {}\n", v.at.to_string(), v.invariant, v.detail));
             // Trace lines only appear on traced trials, so untraced
@@ -114,6 +138,8 @@ pub struct Auditor {
     pub audits: u64,
     /// Violations collected so far.
     pub violations: Vec<Violation>,
+    /// Client-visible history judgement, once the judge has run.
+    history: Option<HistorySummary>,
 }
 
 impl Auditor {
@@ -131,7 +157,13 @@ impl Auditor {
             tracer: rig.world.st.tracer.clone(),
             audits: 0,
             violations: Vec::new(),
+            history: None,
         }
+    }
+
+    /// Attach the client-visible history judgement to the final report.
+    pub(crate) fn set_history(&mut self, summary: HistorySummary) {
+        self.history = Some(summary);
     }
 
     /// Record a snapshot group taken mid-fault (audited at quiesce).
@@ -275,6 +307,7 @@ impl Auditor {
             events,
             audits: self.audits,
             committed_orders: rig.committed_orders(),
+            history: self.history,
             violations: self.violations,
         }
     }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use tsuru_core::TwoSiteRig;
-use tsuru_ecom::driver::start_clients;
+use tsuru_ecom::driver::start_workload_clients;
 use tsuru_ecom::DbInstance;
 use tsuru_minidb::MiniDb;
 use tsuru_simnet::{LinkConfig, LinkId};
@@ -242,7 +242,7 @@ impl Injector {
                     data_vol: vols[3],
                 };
                 app.stopped = false;
-                start_clients(&mut rig.world, &mut rig.sim);
+                start_workload_clients(&mut rig.world, &mut rig.sim);
             }
             (sales, stock) => {
                 // A primary image that cannot crash-recover is itself an

@@ -30,12 +30,14 @@
 
 mod audit;
 mod inject;
+mod judge;
 mod plan;
 mod run;
 
-pub use audit::{Auditor, ChaosReport, Violation};
+pub use audit::{Auditor, ChaosReport, HistorySummary, Violation};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use run::{
-    chaos_sweep, render_chaos_table, run_chaos_trial, run_chaos_trial_traced, shrink_plan,
-    ChaosConfig, ChaosPair, TraceExport,
+    chaos_sweep, history_sweep, render_chaos_table, render_history_table, run_chaos_trial,
+    run_chaos_trial_history, run_chaos_trial_traced, shrink_plan, ChaosConfig, ChaosPair,
+    HistoryRow, HistoryTrial, TraceExport,
 };

@@ -2,11 +2,14 @@
 //! plan shrinking, and the rendering used by `repro chaos`.
 
 use tsuru_core::{render_table, BackupMode, RigConfig, TrialHarness, TrialSet, TwoSiteRig};
-use tsuru_ecom::driver::start_clients;
-use tsuru_sim::{SimDuration, SimTime};
+use tsuru_ecom::driver::start_workload_clients;
+use tsuru_ecom::{AppendState, BankState, WorkloadKind};
+use tsuru_history::Site;
+use tsuru_sim::{DetRng, SimDuration, SimTime};
 
-use crate::audit::{Auditor, ChaosReport};
+use crate::audit::{Auditor, ChaosReport, HistorySummary};
 use crate::inject::Injector;
+use crate::judge;
 use crate::plan::{FaultKind, FaultPlan};
 
 /// Shape of one chaos trial.
@@ -23,6 +26,18 @@ pub struct ChaosConfig {
     /// standard sweep stays byte-identical to untraced runs; traced
     /// violations carry their trailing trace window.
     pub trace: bool,
+    /// Which closed-loop workload drives the trial.
+    pub workload: WorkloadKind,
+    /// Record a client-visible op history and judge it with the
+    /// [`tsuru_history`] checker suite at quiesce. Off by default for
+    /// the same byte-identity reason as `trace`.
+    pub history: bool,
+    /// Mid-run backup-image scan interval (history trials only): how
+    /// often the judge recovers the backup image and records what a
+    /// client reading it would see. Defaults to the audit sample
+    /// cadence so scans land inside fault windows, where the naive
+    /// configuration's torn images are actually observable.
+    pub scan_every: SimDuration,
 }
 
 impl Default for ChaosConfig {
@@ -32,6 +47,9 @@ impl Default for ChaosConfig {
             sample_every: SimDuration::from_millis(5),
             think_time: SimDuration::from_millis(2),
             trace: false,
+            workload: WorkloadKind::Ecom,
+            history: false,
+            scan_every: SimDuration::from_millis(5),
         }
     }
 }
@@ -69,7 +87,7 @@ pub fn run_chaos_trial_traced(
 ) -> (ChaosReport, TraceExport) {
     let mut cfg = cfg.clone();
     cfg.trace = true;
-    let (report, tracer) = run_trial_inner(seed, mode, plan, &cfg);
+    let (report, tracer, _) = run_trial_inner(seed, mode, plan, &cfg);
     let export = TraceExport {
         jsonl: tracer.export_jsonl(),
         chrome: tracer.export_chrome(),
@@ -77,12 +95,29 @@ pub fn run_chaos_trial_traced(
     (report, export)
 }
 
+/// [`run_chaos_trial`] with history recording forced on: returns the
+/// report (the judge's anomalies appear as `client-history` violations)
+/// plus the full history export as JSONL. Output is byte-identical for
+/// identical inputs at any harness thread count.
+pub fn run_chaos_trial_history(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+) -> (ChaosReport, String) {
+    let mut cfg = cfg.clone();
+    cfg.history = true;
+    let (report, _, history) = run_trial_inner(seed, mode, plan, &cfg);
+    let jsonl = history.export_jsonl();
+    (report, jsonl)
+}
+
 fn run_trial_inner(
     seed: u64,
     mode: BackupMode,
     plan: &FaultPlan,
     cfg: &ChaosConfig,
-) -> (ChaosReport, tsuru_storage::Tracer) {
+) -> (ChaosReport, tsuru_storage::Tracer, tsuru_history::Recorder) {
     let mut rig_cfg = RigConfig {
         seed,
         mode,
@@ -90,18 +125,31 @@ fn run_trial_inner(
     };
     rig_cfg.workload.think_time_mean = cfg.think_time;
     rig_cfg.trace = cfg.trace;
+    rig_cfg.history = cfg.history;
     let mut rig = TwoSiteRig::new(rig_cfg);
+    match cfg.workload {
+        WorkloadKind::Ecom => {}
+        WorkloadKind::Bank => {
+            rig.world.app_mut().bank = Some(BankState::new(DetRng::new(seed).derive(0xBA27)));
+        }
+        WorkloadKind::AppendList => {
+            rig.world.app_mut().append = Some(AppendState::new(DetRng::new(seed).derive(0xA99E)));
+        }
+    }
     let tracer = rig.world.st.tracer.clone();
+    let history = rig.world.st.history.clone();
     let mut auditor = Auditor::new(&rig);
     let mut injector = Injector::new(&rig);
 
-    // Timeline: fault starts, heals and audit samples, totally ordered by
-    // (time, start-before-heal-before-sample, event index) so replays are
-    // exact. Actions apply synchronously after the kernel has run every
-    // event up to (and including) their instant.
+    // Timeline: fault starts, heals, audit samples and judge scans,
+    // totally ordered by (time, start-before-heal-before-sample-before-
+    // scan, event index) so replays are exact. Actions apply
+    // synchronously after the kernel has run every event up to (and
+    // including) their instant.
     const START: u8 = 0;
     const HEAL: u8 = 1;
     const SAMPLE: u8 = 2;
+    const SCAN: u8 = 3;
     let mut steps: Vec<(SimTime, u8, usize)> = Vec::new();
     for (i, ev) in plan.events.iter().enumerate() {
         steps.push((ev.at, START, i));
@@ -114,17 +162,32 @@ fn run_trial_inner(
         steps.push((t, SAMPLE, 0));
         t = t + cfg.sample_every;
     }
+    if cfg.history {
+        let mut t = SimTime::ZERO + cfg.scan_every;
+        while t < plan.horizon {
+            steps.push((t, SCAN, 0));
+            t = t + cfg.scan_every;
+        }
+    }
     steps.sort_unstable();
 
-    start_clients(&mut rig.world, &mut rig.sim);
+    start_workload_clients(&mut rig.world, &mut rig.sim);
     for (at, action, idx) in steps {
         rig.sim.run_until(&mut rig.world, at);
         match action {
             START => injector.start(&mut rig, &mut auditor, &plan.events[idx]),
             HEAL => injector.heal(&mut rig, &mut auditor, &plan.events[idx]),
+            SCAN => judge::scan_backup(
+                &rig,
+                cfg.workload,
+                tsuru_history::process::BACKUP_READER,
+                Site::Backup,
+            ),
             _ => {}
         }
-        auditor.audit_point(&rig);
+        if action != SCAN {
+            auditor.audit_point(&rig);
+        }
     }
 
     // Quiesce: run out the horizon, stop the workload, drain everything.
@@ -132,8 +195,37 @@ fn run_trial_inner(
     rig.world.app_mut().stopped = true;
     rig.sim.run(&mut rig.world);
 
+    // Judge the client-visible history: final primary and drained-backup
+    // observations, then every applicable checker. Anomalies become
+    // violations carrying the offending op subsequence (and, on traced
+    // trials, the trailing trace window).
+    if cfg.history {
+        let verdict = judge::judge(&rig, cfg.workload);
+        let now = rig.sim.now();
+        let mut anomalies = 0u64;
+        for report in &verdict.reports {
+            for a in &report.anomalies {
+                anomalies += 1;
+                auditor.violate(
+                    now,
+                    "client-history",
+                    format!("{}: {}", report.checker, a.render()),
+                );
+            }
+        }
+        auditor.set_history(HistorySummary {
+            records: verdict.records,
+            ops_checked: verdict.ops_checked(),
+            anomalies,
+        });
+    }
+
     let kinds = plan.kinds().iter().map(|s| s.to_string()).collect();
-    (auditor.finish(&rig, seed, kinds, plan.events.len()), tracer)
+    (
+        auditor.finish(&rig, seed, kinds, plan.events.len()),
+        tracer,
+        history,
+    )
 }
 
 /// One trial's paired verdict: the same plan against the paper's design
@@ -161,6 +253,108 @@ pub fn chaos_sweep(
             naive: run_chaos_trial(ctx.seed, BackupMode::AdcPerVolume, &plan, cfg),
         }
     })
+}
+
+/// One workload's paired verdict within a history-sweep trial.
+#[derive(Debug, Clone)]
+pub struct HistoryRow {
+    /// Which workload drove the trial.
+    pub workload: WorkloadKind,
+    /// Consistency-group report (expected clean).
+    pub cg: ChaosReport,
+    /// Per-volume report (expected to show client-visible anomalies
+    /// under fault).
+    pub naive: ChaosReport,
+    /// Full consistency-group history as JSONL (byte-identical at any
+    /// harness thread count).
+    pub cg_export: String,
+    /// Full per-volume history as JSONL.
+    pub naive_export: String,
+}
+
+/// One history-sweep trial: every workload replayed against the same
+/// fault plan in both modes, each judged by the client-visible checker.
+#[derive(Debug, Clone)]
+pub struct HistoryTrial {
+    /// One row per workload, in [`WorkloadKind::ALL`] order.
+    pub rows: Vec<HistoryRow>,
+}
+
+/// The workload-diversity sweep behind `repro history`: `trials` seeded
+/// fault plans, each replayed under every workload in both modes with
+/// history recording and judging on. Rows are byte-stable across
+/// harness thread counts.
+pub fn history_sweep(
+    harness: &TrialHarness,
+    base_seed: u64,
+    trials: usize,
+    cfg: &ChaosConfig,
+) -> TrialSet<HistoryTrial> {
+    harness.run(base_seed, trials, |ctx| {
+        let plan = FaultPlan::random(ctx.seed, cfg.horizon);
+        let rows = WorkloadKind::ALL
+            .iter()
+            .map(|&workload| {
+                let mut c = cfg.clone();
+                c.workload = workload;
+                let (cg, cg_export) =
+                    run_chaos_trial_history(ctx.seed, BackupMode::AdcConsistencyGroup, &plan, &c);
+                let (naive, naive_export) =
+                    run_chaos_trial_history(ctx.seed, BackupMode::AdcPerVolume, &plan, &c);
+                HistoryRow {
+                    workload,
+                    cg,
+                    naive,
+                    cg_export,
+                    naive_export,
+                }
+            })
+            .collect();
+        HistoryTrial { rows }
+    })
+}
+
+/// Render the history sweep (one row per trial × workload) for
+/// `repro history`.
+pub fn render_history_table(trials: &[HistoryTrial]) -> String {
+    let verdict = |r: &ChaosReport| {
+        let h = r.history.expect("history trial carries a summary");
+        if h.anomalies == 0 { "clean".to_string() } else { format!("{}-anomalies", h.anomalies) }
+    };
+    render_table(
+        &[
+            "trial",
+            "seed",
+            "workload",
+            "ops_checked",
+            "cg_verdict",
+            "naive_verdict",
+            "cg_violations",
+            "naive_violations",
+        ],
+        &trials
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| {
+                t.rows.iter().map(move |row| {
+                    vec![
+                        i.to_string(),
+                        format!("{:#x}", row.cg.seed),
+                        row.workload.label().to_string(),
+                        row.cg
+                            .history
+                            .expect("history trial carries a summary")
+                            .ops_checked
+                            .to_string(),
+                        verdict(&row.cg),
+                        verdict(&row.naive),
+                        row.cg.violations.len().to_string(),
+                        row.naive.violations.len().to_string(),
+                    ]
+                })
+            })
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Greedy event-removal shrinking: repeatedly drop any event whose

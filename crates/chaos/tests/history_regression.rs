@@ -1,0 +1,124 @@
+//! Regression, restated as a client-visible history: the journal-stall
+//! retry reordering bug.
+//!
+//! `crates/storage/tests/write_order.rs` pins the engine-level bug: two
+//! stalled same-LBA writes could apply in *retry* order instead of
+//! issue order, so the older content landed last. For a database WAL —
+//! whose tail block is rewritten by every commit — that rolls the tail
+//! back in time and truncates the record stream.
+//!
+//! This test records what that bug looked like *from the client's
+//! side*, as the history checkers would have caught it without any
+//! knowledge of journals or LBAs:
+//!
+//! - appends 1..4 to one list are acked (each commit rewrote the WAL
+//!   tail block);
+//! - the stale retry then rolled the tail back to the state after
+//!   append 2, so every later backup image recovers only `[1, 2]`;
+//! - the backup reader, which had already observed `[1, 2, 3]`, sees
+//!   the list *rewind* (a stale read), and the final drained backup
+//!   image is missing acked appends 3 and 4 (lost appends).
+//!
+//! The engine fix (per-volume ordering gate) makes this history
+//! impossible; the checker exists so any regression of that gate is
+//! caught as a client-visible anomaly, not only by the byte-level
+//! auditor.
+
+use tsuru_history::{
+    check_history, AnomalyKind, CheckConfig, OpData, OpId, Recorder, Site, TxnOps,
+};
+use tsuru_sim::SimTime;
+
+fn append(r: &Recorder, t_us: u64, key: u64, value: u64) -> OpId {
+    let op = r.invoke(1, SimTime::from_micros(t_us), OpData::Append { key, value });
+    r.ok(
+        1,
+        op,
+        SimTime::from_micros(t_us + 50),
+        OpData::Txn(TxnOps::default()),
+    );
+    op
+}
+
+fn backup_read(r: &Recorder, t_us: u64, key: u64, site: Site, values: &[u64]) -> OpId {
+    let op = r.invoke(
+        tsuru_history::process::BACKUP_READER,
+        SimTime::from_micros(t_us),
+        OpData::ReadList { key, site },
+    );
+    r.ok(
+        tsuru_history::process::BACKUP_READER,
+        op,
+        SimTime::from_micros(t_us),
+        OpData::List {
+            key,
+            values: values.to_vec(),
+        },
+    );
+    op
+}
+
+#[test]
+fn stale_retry_rollback_is_client_visible() {
+    let r = Recorder::enabled();
+
+    // Four acked appends; each commit rewrote the WAL tail block.
+    append(&r, 100, 0, 1);
+    append(&r, 200, 0, 2);
+    append(&r, 300, 0, 3);
+    append(&r, 400, 0, 4);
+
+    // The backup reader tracked the replicated image faithfully while
+    // the writes were in flight...
+    backup_read(&r, 250, 0, Site::Backup, &[1, 2]);
+    backup_read(&r, 350, 0, Site::Backup, &[1, 2, 3]);
+
+    // ...then the stale retry applied the OLD tail block last, rolling
+    // the WAL back to the post-append-2 state. Every later image — the
+    // next mid-run read and the fully drained final image — recovers
+    // the truncated stream.
+    backup_read(&r, 500, 0, Site::Backup, &[1, 2]);
+    backup_read(&r, 600, 0, Site::BackupFinal, &[1, 2]);
+
+    let verdict = check_history(&r.history(), &CheckConfig::default());
+    assert!(!verdict.is_clean(), "the rollback must be caught");
+
+    let kinds: Vec<AnomalyKind> = verdict.anomalies().map(|a| a.kind).collect();
+    assert!(
+        kinds.contains(&AnomalyKind::StaleRead),
+        "the backup reader saw the list rewind: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&AnomalyKind::LostAppend),
+        "acked appends 3 and 4 vanished from the drained image: {kinds:?}"
+    );
+
+    // The lost-append anomaly names exactly the two swallowed appends.
+    let lost = verdict
+        .anomalies()
+        .find(|a| a.kind == AnomalyKind::LostAppend)
+        .expect("lost-append anomaly present");
+    assert!(
+        lost.detail.contains("[3,4]"),
+        "must name the swallowed values: {}",
+        lost.detail
+    );
+}
+
+/// The fixed engine produces the faithful version of the same story:
+/// the tail never rolls back, images only advance, nothing is lost.
+#[test]
+fn issue_order_apply_is_clean() {
+    let r = Recorder::enabled();
+    append(&r, 100, 0, 1);
+    append(&r, 200, 0, 2);
+    append(&r, 300, 0, 3);
+    append(&r, 400, 0, 4);
+    backup_read(&r, 250, 0, Site::Backup, &[1, 2]);
+    backup_read(&r, 350, 0, Site::Backup, &[1, 2, 3]);
+    backup_read(&r, 500, 0, Site::Backup, &[1, 2, 3, 4]);
+    backup_read(&r, 600, 0, Site::BackupFinal, &[1, 2, 3, 4]);
+
+    let verdict = check_history(&r.history(), &CheckConfig::default());
+    assert!(verdict.is_clean(), "{}", verdict.render());
+}

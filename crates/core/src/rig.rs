@@ -84,6 +84,10 @@ pub struct RigConfig {
     /// the disabled tracer keeps the hot path allocation-free and all
     /// experiment outputs byte-identical to untraced runs.
     pub trace: bool,
+    /// Install an enabled [`tsuru_history::Recorder`] on the world, so
+    /// the workload drivers record a client-visible op history. Off by
+    /// default for the same reason as `trace`.
+    pub history: bool,
 }
 
 impl Default for RigConfig {
@@ -106,6 +110,7 @@ impl Default for RigConfig {
                 checkpoint_threshold: 0.8,
             },
             trace: false,
+            history: false,
         }
     }
 }
@@ -278,13 +283,19 @@ impl TwoSiteRig {
             metrics: EcomMetrics::default(),
             stopped: false,
             stop_after_orders: None,
+            bank: None,
+            append: None,
         };
         let mut world = DemoWorld::new(st);
         world.install_app(app);
         // Installed after construction: formatting and seeding above go
-        // through write_direct and must not appear in the trace.
+        // through write_direct and must not appear in the trace — and the
+        // history likewise starts at the workload's first operation.
         if config.trace {
             world.st.set_tracer(tsuru_storage::Tracer::enabled());
+        }
+        if config.history {
+            world.st.set_history(tsuru_history::Recorder::enabled());
         }
 
         TwoSiteRig {

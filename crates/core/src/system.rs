@@ -15,10 +15,12 @@ use tsuru_container::{
     BACKUP_TAG_VALUE,
 };
 use tsuru_ecom::driver::start_clients;
+use tsuru_ecom::scan::record_shop_scan;
 use tsuru_ecom::{
     check_cross_db, install_db, order_rpo, seed_stock, EcomMetrics, EcomState, InvariantReport,
     OrderRpo, WorkloadConfig, WorkloadGen,
 };
+use tsuru_history::{check_history, process, CheckConfig, OpData, Site, Verdict};
 use tsuru_minidb::{DbConfig, MiniDb, RecoveryError};
 use tsuru_nso::{NamespaceOperator, NsoConfig};
 use tsuru_plugin::{
@@ -235,6 +237,8 @@ impl DemoSystem {
             metrics: EcomMetrics::default(),
             stopped: false,
             stop_after_orders: None,
+            bank: None,
+            append: None,
         };
         let mut world = DemoWorld::new(st);
         world.install_app(app);
@@ -449,6 +453,18 @@ impl DemoSystem {
             &SnapshotView::new(arr, find(VOLUME_NAMES[3])),
             self.config.db.clone(),
         )?;
+        // The analytics scan is a real client of the backup image: when
+        // history recording is on, it enters the op history as a
+        // mid-run backup observation.
+        record_shop_scan(
+            &self.world.st.history,
+            process::BACKUP_READER,
+            self.sim.now(),
+            Site::Backup,
+            &sales,
+            &stock,
+            self.config.workload.initial_stock,
+        );
         let report = tsuru_analytics::run_analytics(&sales, &stock, top_k);
         for line in report.render() {
             self.log(format!("    {line}"));
@@ -521,6 +537,26 @@ impl DemoSystem {
             &tsuru_storage::VolumeView::new(arr, vol_by_name(VOLUME_NAMES[3])),
             self.config.db.clone(),
         );
+        // What a client of the promoted replica actually observes,
+        // recorded into the op history (if enabled). A replica that
+        // will not crash-recover is recorded as a failed observation —
+        // the strongest client-visible collapse.
+        if let (Ok((s, _)), Ok((t, _))) = (&sales, &stock) {
+            record_shop_scan(
+                &self.world.st.history,
+                process::JUDGE,
+                self.sim.now(),
+                Site::Backup,
+                s,
+                t,
+                self.config.workload.initial_stock,
+            );
+        } else if self.world.st.history.is_enabled() {
+            let hist = &self.world.st.history;
+            let now = self.sim.now();
+            let op = hist.invoke(process::JUDGE, now, OpData::ReadShop { site: Site::Backup });
+            hist.fail(process::JUDGE, op, now, OpData::None);
+        }
         let invariant = match (&sales, &stock) {
             (Ok((s, _)), Ok((t, _))) => Some(check_cross_db(
                 s,
@@ -545,6 +581,18 @@ impl DemoSystem {
             invariant,
             orders,
         }
+    }
+
+    /// Judge the recorded op history with the full checker suite.
+    ///
+    /// Meaningful after the workload ran with history recording on
+    /// (`self.world.st.set_history(Recorder::enabled())` before
+    /// [`Self::run_workload_for`]): every order the clients placed and
+    /// every image observation ([`Self::step3_analytics`],
+    /// [`Self::recover_business`]) is in the history, so the verdict is
+    /// the client's answer to "did the backup lie to anyone?".
+    pub fn history_verdict(&self) -> Verdict {
+        check_history(&self.world.st.history.history(), &CheckConfig::default())
     }
 
     /// The storage administrator's view: replication and pool status

@@ -4,6 +4,8 @@ use tsuru_minidb::{DbConfig, DbVol, IoPlan, MiniDb};
 use tsuru_sim::{Histogram, SimTime};
 use tsuru_storage::{StorageWorld, VolRef};
 
+use crate::append::AppendState;
+use crate::bank::BankState;
 use crate::model::{StockRow, STOCK_TABLE};
 use crate::workload::WorkloadGen;
 
@@ -59,6 +61,12 @@ pub struct EcomState {
     pub stopped: bool,
     /// Optional cap on generated orders (experiments with a fixed count).
     pub stop_after_orders: Option<u64>,
+    /// Present when the bank-transfer workload drives this state instead
+    /// of the order workload (see [`crate::bank`]).
+    pub bank: Option<BankState>,
+    /// Present when the append-list workload drives this state instead
+    /// of the order workload (see [`crate::append`]).
+    pub append: Option<AppendState>,
 }
 
 /// Access to the application state from an arbitrary simulation world.
@@ -176,6 +184,8 @@ mod tests {
             metrics: EcomMetrics::default(),
             stopped: false,
             stop_after_orders: None,
+            bank: None,
+            append: None,
         };
         assert_eq!(state.sales.volref(DbVol::Wal), sw);
         assert_eq!(state.sales.volref(DbVol::Data), sd);

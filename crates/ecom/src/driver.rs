@@ -12,6 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use tsuru_history::{space, KeyVer, OpData, TxnOps};
 use tsuru_minidb::{IoPlan, IoRequest};
 use tsuru_sim::{Sim, SimDuration};
 use tsuru_storage::{engine::host_write, HasStorage, WriteAck};
@@ -121,6 +122,24 @@ where
     }
 }
 
+/// Start whichever closed-loop workload is installed on the state:
+/// bank-transfer or append-list when present, the order workload
+/// otherwise. Fault injectors use this to restart clients after a main
+/// site recovery without knowing which workload a trial runs.
+pub fn start_workload_clients<S, E>(state: &mut S, sim: &mut Sim<S, E>)
+where
+    S: HasStorage + HasEcom + 'static,
+    E: EcomEvents<S>,
+{
+    if state.ecom().bank.is_some() {
+        crate::bank::start_bank_clients(state, sim);
+    } else if state.ecom().append.is_some() {
+        crate::append::start_append_clients(state, sim);
+    } else {
+        start_clients(state, sim);
+    }
+}
+
 /// Execute one order transaction for `client`, then reschedule.
 pub fn client_txn<S, E>(state: &mut S, sim: &mut Sim<S, E>, client: u32)
 where
@@ -141,7 +160,30 @@ where
     let started = sim.now();
     let spec = state.ecom_mut().gen.next_order(client);
 
+    // History: record the client's intent; the op stays *pending* (its
+    // outcome indeterminate) until the final storage ack. Versions are
+    // taken at the synchronous in-memory commit points, so the recorded
+    // chains follow the databases' serialization order.
+    let hist = state.storage().history.clone();
+    let op = hist.invoke(
+        client,
+        started,
+        OpData::Order {
+            order_id: spec.order_id,
+            item: spec.item,
+            quantity: spec.quantity,
+        },
+    );
+    let mut txn = TxnOps::default();
+
     // Phase 1: decrement inventory in the stock database.
+    if hist.is_enabled() {
+        txn.reads.push(KeyVer {
+            space: space::STOCK,
+            key: spec.item,
+            version: hist.read_version(space::STOCK, spec.item),
+        });
+    }
     let stock_plan = {
         let e = state.ecom_mut();
         let tx = e.stock.db.begin();
@@ -157,6 +199,13 @@ where
         e.stock.db.put(tx, STOCK_TABLE, spec.item, &updated.encode());
         e.stock.db.commit(tx)
     };
+    if hist.is_enabled() {
+        txn.writes.push(KeyVer {
+            space: space::STOCK,
+            key: spec.item,
+            version: hist.install_version(space::STOCK, spec.item),
+        });
+    }
     drive_plan(state, sim, Which::Stock, stock_plan, move |s, sim, ok| {
         if !ok {
             s.ecom_mut().stopped = true;
@@ -177,12 +226,21 @@ where
             e.sales.db.put(tx, ORDERS_TABLE, spec.order_id, &row.encode());
             e.sales.db.commit(tx)
         };
+        let mut txn = txn;
+        if hist.is_enabled() {
+            txn.writes.push(KeyVer {
+                space: space::ORDERS,
+                key: spec.order_id,
+                version: hist.install_version(space::ORDERS, spec.order_id),
+            });
+        }
         drive_plan(s, sim, Which::Sales, sales_plan, move |s, sim, ok| {
             if !ok {
                 s.ecom_mut().stopped = true;
                 return;
             }
             let now = sim.now();
+            hist.ok(client, op, now, OpData::Txn(txn));
             let e = s.ecom_mut();
             e.metrics.txn_latency.record_duration(now - started);
             e.metrics.committed_orders += 1;

@@ -21,6 +21,16 @@ pub enum EcomOp {
         /// Closed-loop client index.
         client: u32,
     },
+    /// Wake `client` of the bank-transfer workload.
+    BankThink {
+        /// Closed-loop client index.
+        client: u32,
+    },
+    /// Wake `client` of the append-list workload.
+    AppendThink {
+        /// Closed-loop client index.
+        client: u32,
+    },
 }
 
 impl EcomOp {
@@ -32,6 +42,8 @@ impl EcomOp {
     {
         match self {
             EcomOp::ClientThink { client } => client_txn(state, sim, client),
+            EcomOp::BankThink { client } => crate::bank::bank_txn(state, sim, client),
+            EcomOp::AppendThink { client } => crate::append::append_txn(state, sim, client),
         }
     }
 }

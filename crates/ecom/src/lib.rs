@@ -18,16 +18,23 @@
 #![warn(missing_docs)]
 
 mod app;
+pub mod append;
+pub mod bank;
 mod checker;
 pub mod driver;
 pub mod event;
 mod model;
+pub mod scan;
 mod workload;
 
 pub use app::{
     apply_plan_direct, install_db, seed_stock, DbInstance, EcomMetrics, EcomState, HasEcom,
 };
+pub use append::AppendState;
+pub use bank::BankState;
 pub use checker::{check_cross_db, order_rpo, InvariantReport, OrderRpo, Oversold};
 pub use event::{EcomEvents, EcomOp};
-pub use model::{OrderRow, StockRow, ORDERS_TABLE, STOCK_TABLE};
-pub use workload::{OrderSpec, WorkloadConfig, WorkloadGen};
+pub use model::{
+    decode_list, encode_list, OrderRow, StockRow, LISTS_TABLE, ORDERS_TABLE, STOCK_TABLE,
+};
+pub use workload::{OrderSpec, WorkloadConfig, WorkloadGen, WorkloadKind};

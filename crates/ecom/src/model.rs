@@ -9,6 +9,27 @@ use tsuru_minidb::TableId;
 pub const STOCK_TABLE: TableId = TableId(1);
 /// The orders table in the sales database.
 pub const ORDERS_TABLE: TableId = TableId(1);
+/// The per-key append lists of the append-list workload, kept in the
+/// sales database (the orders table is `TableId(1)` there, so the two
+/// workloads never collide).
+pub const LISTS_TABLE: TableId = TableId(2);
+
+/// Serialize an append list (concatenated LE u64 values).
+pub fn encode_list(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parse an append list; trailing partial words are dropped (they can
+/// only come from a corrupted row, which the checker flags separately).
+pub fn decode_list(buf: &[u8]) -> Vec<u64> {
+    buf.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
 
 /// One inventory row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +92,14 @@ mod tests {
         let r = StockRow { quantity: 42 };
         assert_eq!(StockRow::decode(&r.encode()), Some(r));
         assert_eq!(StockRow::decode(b"abc"), None);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let values = [7u64, 1 << 40, 0];
+        assert_eq!(decode_list(&encode_list(&values)), values);
+        assert_eq!(decode_list(&[]), Vec::<u64>::new());
+        assert_eq!(decode_list(&[1, 2, 3]), Vec::<u64>::new());
     }
 
     #[test]

@@ -30,6 +30,32 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// Which closed-loop workload a trial runs against the two databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The order workload (stock decrement then order row).
+    Ecom,
+    /// Bank transfers over the stock rows (total-balance invariant).
+    Bank,
+    /// Per-key ordered appends in the sales database.
+    AppendList,
+}
+
+impl WorkloadKind {
+    /// All workloads, in report order.
+    pub const ALL: [WorkloadKind; 3] =
+        [WorkloadKind::Ecom, WorkloadKind::Bank, WorkloadKind::AppendList];
+
+    /// Stable label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Ecom => "ecom",
+            WorkloadKind::Bank => "bank",
+            WorkloadKind::AppendList => "append-list",
+        }
+    }
+}
+
 /// One order to execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrderSpec {

@@ -120,6 +120,8 @@ fn rig(seed: u64, consistency_group: bool, replicate: bool) -> Rig {
         metrics: EcomMetrics::default(),
         stopped: false,
         stop_after_orders: None,
+        bank: None,
+        append: None,
     };
     Rig {
         world: World { st, ecom },
@@ -322,6 +324,8 @@ fn checkpoints_under_replication_survive_disaster() {
                 metrics: EcomMetrics::default(),
                 stopped: false,
                 stop_after_orders: None,
+                bank: None,
+                append: None,
             },
         };
         let mut sim: Sim<World> = Sim::new();

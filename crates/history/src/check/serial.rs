@@ -1,0 +1,358 @@
+//! Serializability cycle detection over transactional histories.
+//!
+//! Committed transactions declare their footprint as per-key version
+//! chains ([`crate::TxnOps`]): a read observes the version that was
+//! current, a write installs the next one. From those chains the
+//! checker derives the classic dependency edges —
+//!
+//! * **ww** — writer of version *v* → writer of the next version,
+//! * **wr** — writer of version *v* → every reader of *v*,
+//! * **rw** — reader of version *v* → writer of the next version
+//!   (the anti-dependency),
+//!
+//! — and runs Tarjan's SCC over the transaction graph. Any strongly
+//! connected component larger than one transaction is a dependency
+//! cycle no serial order can explain. Cycles made only of ww/wr edges
+//! are Adya's G1c (circular information flow); cycles where two
+//! members read the same version of a key they both wrote are lost
+//! updates; anything else is reported as plain non-serializability.
+//!
+//! Pending transactions (invoke without completion) are excluded: the
+//! system never acked them, so the client has no claim about them.
+
+use std::collections::BTreeMap;
+
+use crate::check::{Anomaly, AnomalyKind, CheckReport};
+use crate::record::{History, OpData, OpId, Phase, TxnOps};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EdgeKind {
+    Ww,
+    Wr,
+    Rw,
+}
+
+impl EdgeKind {
+    fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Ww => "ww",
+            EdgeKind::Wr => "wr",
+            EdgeKind::Rw => "rw",
+        }
+    }
+}
+
+/// Iterative Tarjan SCC; returns components in discovery order. Node
+/// ids are dense indices into the transaction list.
+fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+    // Explicit DFS frames: (node, next-edge-offset).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != u32::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        while !frames.is_empty() {
+            let (v, ei) = *frames.last().expect("frame exists");
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(ei) {
+                frames.last_mut().expect("frame exists").1 += 1;
+                if index[w] == u32::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Check the committed transactions of `h` for dependency cycles.
+pub fn check(h: &History) -> CheckReport {
+    // Committed txns: op id → footprint, in invoke order.
+    let mut txns: Vec<(OpId, TxnOps)> = Vec::new();
+    for r in &h.records {
+        if r.phase == Phase::Ok {
+            if let OpData::Txn(ops) = &r.data {
+                txns.push((r.op, ops.clone()));
+            }
+        }
+    }
+    let mut anomalies = Vec::new();
+
+    // Version chains: who installed / read each (space, key, version).
+    let mut writer: BTreeMap<(u32, u64, u64), usize> = BTreeMap::new();
+    let mut readers: BTreeMap<(u32, u64, u64), Vec<usize>> = BTreeMap::new();
+    let mut written: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+    for (i, (op, ops)) in txns.iter().enumerate() {
+        for w in &ops.writes {
+            let slot = (w.space, w.key, w.version);
+            if let Some(&prev) = writer.get(&slot) {
+                anomalies.push(Anomaly {
+                    kind: AnomalyKind::ConflictingWrite,
+                    detail: format!(
+                        "two txns installed space={} key={} version={}",
+                        w.space, w.key, w.version
+                    ),
+                    ops: vec![txns[prev].0, *op],
+                });
+            } else {
+                writer.insert(slot, i);
+                written.entry((w.space, w.key)).or_default().push(w.version);
+            }
+        }
+        for rd in &ops.reads {
+            readers.entry((rd.space, rd.key, rd.version)).or_default().push(i);
+        }
+    }
+    for versions in written.values_mut() {
+        versions.sort_unstable();
+    }
+
+    // Dependency edges, deduplicated, self-edges dropped.
+    let n = txns.len();
+    let mut edges: BTreeMap<(usize, usize), Vec<EdgeKind>> = BTreeMap::new();
+    let add = |from: usize, to: usize, kind: EdgeKind, edges: &mut BTreeMap<(usize, usize), Vec<EdgeKind>>| {
+        if from == to {
+            return;
+        }
+        let kinds = edges.entry((from, to)).or_default();
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    };
+    for (&(space, key), versions) in &written {
+        for pair in versions.windows(2) {
+            let (a, b) = (
+                writer[&(space, key, pair[0])],
+                writer[&(space, key, pair[1])],
+            );
+            add(a, b, EdgeKind::Ww, &mut edges);
+        }
+        for &v in versions {
+            let w = writer[&(space, key, v)];
+            if let Some(rs) = readers.get(&(space, key, v)) {
+                for &r in rs {
+                    add(w, r, EdgeKind::Wr, &mut edges);
+                }
+            }
+            // Anti-dependency: whoever read the version *before* v must
+            // precede v's writer in any serial order.
+            let prev = versions
+                .iter()
+                .rev()
+                .find(|&&p| p < v)
+                .copied()
+                .unwrap_or(0);
+            if let Some(rs) = readers.get(&(space, key, prev)) {
+                for &r in rs {
+                    add(r, w, EdgeKind::Rw, &mut edges);
+                }
+            }
+        }
+    }
+
+    let mut adj = vec![Vec::new(); n];
+    for &(from, to) in edges.keys() {
+        adj[from].push(to);
+    }
+
+    for scc in tarjan(n, &adj) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let mut members = scc.clone();
+        members.sort_unstable();
+        let in_scc = |i: usize| members.binary_search(&i).is_ok();
+
+        // Edge kinds and keys internal to the cycle.
+        let mut kinds: Vec<EdgeKind> = Vec::new();
+        for (&(from, to), ks) in &edges {
+            if in_scc(from) && in_scc(to) {
+                for k in ks {
+                    if !kinds.contains(k) {
+                        kinds.push(*k);
+                    }
+                }
+            }
+        }
+        kinds.sort_unstable();
+        let pure_info_flow = kinds.iter().all(|k| *k != EdgeKind::Rw);
+
+        // Lost update: two cycle members read the same version of a key
+        // they both also wrote.
+        let mut lost_update = false;
+        'outer: for (&(space, key, _v), rs) in &readers {
+            let contenders: Vec<usize> = rs
+                .iter()
+                .copied()
+                .filter(|&r| {
+                    in_scc(r)
+                        && txns[r]
+                            .1
+                            .writes
+                            .iter()
+                            .any(|w| w.space == space && w.key == key)
+                })
+                .collect();
+            if contenders.len() >= 2 {
+                lost_update = true;
+                break 'outer;
+            }
+        }
+
+        let kind = if pure_info_flow {
+            AnomalyKind::WriteCycle
+        } else if lost_update {
+            AnomalyKind::LostUpdate
+        } else {
+            AnomalyKind::NonSerializable
+        };
+        let kind_labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        let mut ops: Vec<OpId> = members.iter().map(|&i| txns[i].0).collect();
+        ops.sort_unstable();
+        anomalies.push(Anomaly {
+            kind,
+            detail: format!(
+                "dependency cycle of {} committed txns (edges: {})",
+                members.len(),
+                kind_labels.join(",")
+            ),
+            ops,
+        });
+    }
+
+    // Deterministic report order: by first op id in the anomaly.
+    anomalies.sort_by_key(|a| (a.ops.first().copied().unwrap_or(OpId::NONE), a.kind.label()));
+    CheckReport {
+        checker: "serializable",
+        ops_checked: n as u64,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{KeyVer, OpData, Recorder, TxnOps};
+    use tsuru_sim::SimTime;
+
+    fn kv(space: u32, key: u64, version: u64) -> KeyVer {
+        KeyVer { space, key, version }
+    }
+
+    fn commit(r: &Recorder, process: u32, t_us: u64, reads: Vec<KeyVer>, writes: Vec<KeyVer>) {
+        let op = r.invoke(
+            process,
+            SimTime::from_micros(t_us),
+            OpData::Transfer { from: 0, to: 1, amount: 1 },
+        );
+        r.ok(
+            process,
+            op,
+            SimTime::from_micros(t_us + 1),
+            OpData::Txn(TxnOps { reads, writes }),
+        );
+    }
+
+    #[test]
+    fn serial_chain_is_clean() {
+        let r = Recorder::enabled();
+        // T1 reads v0 writes v1; T2 reads v1 writes v2; a reader of v2.
+        commit(&r, 1, 10, vec![kv(3, 7, 0)], vec![kv(3, 7, 1)]);
+        commit(&r, 2, 20, vec![kv(3, 7, 1)], vec![kv(3, 7, 2)]);
+        commit(&r, 1, 30, vec![kv(3, 7, 2)], vec![kv(3, 8, 1)]);
+        let report = check(&r.history());
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert_eq!(report.ops_checked, 3);
+    }
+
+    #[test]
+    fn write_cycle_is_g1c() {
+        let r = Recorder::enabled();
+        // T1 writes x1 and reads y1 (written by T2); T2 writes y1 and
+        // reads x1 (written by T1): wr edges both ways.
+        commit(&r, 1, 10, vec![kv(1, 2, 1)], vec![kv(1, 1, 1)]);
+        commit(&r, 2, 11, vec![kv(1, 1, 1)], vec![kv(1, 2, 1)]);
+        let report = check(&r.history());
+        assert_eq!(report.anomalies.len(), 1, "{:?}", report.anomalies);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::WriteCycle);
+        assert_eq!(report.anomalies[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn lost_update_is_classified() {
+        let r = Recorder::enabled();
+        // Both read v0 of the same key, both write it: classic lost
+        // update (rw edges both ways through versions 1 and 2).
+        commit(&r, 1, 10, vec![kv(3, 5, 0)], vec![kv(3, 5, 1)]);
+        commit(&r, 2, 11, vec![kv(3, 5, 0)], vec![kv(3, 5, 2)]);
+        let report = check(&r.history());
+        assert_eq!(report.anomalies.len(), 1, "{:?}", report.anomalies);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::LostUpdate);
+    }
+
+    #[test]
+    fn conflicting_installs_are_flagged() {
+        let r = Recorder::enabled();
+        commit(&r, 1, 10, vec![], vec![kv(1, 1, 1)]);
+        commit(&r, 2, 11, vec![], vec![kv(1, 1, 1)]);
+        let report = check(&r.history());
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.kind == AnomalyKind::ConflictingWrite));
+    }
+
+    #[test]
+    fn pending_txns_are_ignored() {
+        let r = Recorder::enabled();
+        // A pending (unacked) txn that would close a cycle must not.
+        commit(&r, 1, 10, vec![kv(1, 2, 1)], vec![kv(1, 1, 1)]);
+        r.invoke(2, SimTime::from_micros(11), OpData::Transfer { from: 0, to: 1, amount: 1 });
+        let report = check(&r.history());
+        assert!(report.is_clean(), "{:?}", report.anomalies);
+        assert_eq!(report.ops_checked, 1);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow() {
+        let r = Recorder::enabled();
+        for v in 0..5_000u64 {
+            commit(&r, 1, 10 + v, vec![kv(1, 1, v)], vec![kv(1, 1, v + 1)]);
+        }
+        let report = check(&r.history());
+        assert!(report.is_clean());
+        assert_eq!(report.ops_checked, 5_000);
+    }
+}

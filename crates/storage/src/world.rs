@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use tsuru_history::Recorder;
 use tsuru_sim::{DetRng, SimDuration, SimTime};
 use tsuru_simnet::{LinkConfig, LinkId, Network, TransferOutcome};
 use tsuru_telemetry::{names, spans, MetricsRegistry, SpanId, Tracer};
@@ -98,6 +99,12 @@ pub struct StorageWorld {
     /// Causal span tracer; disabled (free) unless
     /// [`StorageWorld::set_tracer`] installed a recording handle.
     pub tracer: Tracer,
+    /// Client-visible op-history recorder; disabled (free) unless
+    /// [`StorageWorld::set_history`] installed a recording handle. The
+    /// storage layer never records into it itself — it is the rendezvous
+    /// point where application drivers and image readers, which only
+    /// share the world, find the same history.
+    pub history: Recorder,
     /// Per-volume host-write ordering: `(next_ticket, turn)`. A write takes
     /// a ticket at submission and may only apply when its ticket equals the
     /// volume's turn, so a stalled write can never be overtaken by a later
@@ -118,6 +125,7 @@ impl StorageWorld {
             ack_log: AckLog::new(),
             metrics: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
+            history: Recorder::disabled(),
             write_order: BTreeMap::new(),
             rng: DetRng::new(seed),
             control_time: SimTime::ZERO,
@@ -132,6 +140,13 @@ impl StorageWorld {
         self.net.set_tracer(tracer.clone());
         self.tracer = tracer;
         self.metrics.enable_sampling();
+    }
+
+    /// Install a client-visible history recorder. Install after setup
+    /// (formatting, seeding) so the recorded history starts at the
+    /// workload's first operation, like the tracer.
+    pub fn set_history(&mut self, history: Recorder) {
+        self.history = history;
     }
 
     /// The control-plane clock: set by the orchestrator before running
