@@ -30,12 +30,16 @@ impl DemoWorld {
     /// # Panics
     /// Panics if the application is not installed yet.
     pub fn app(&self) -> &EcomState {
-        self.app.as_ref().expect("application not installed")
+        self.app
+            .as_ref()
+            .expect("invariant: install_app runs before any workload event")
     }
 
     /// Mutably borrow the application.
     pub fn app_mut(&mut self) -> &mut EcomState {
-        self.app.as_mut().expect("application not installed")
+        self.app
+            .as_mut()
+            .expect("invariant: install_app runs before any workload event")
     }
 }
 

@@ -9,14 +9,21 @@
 //! machine-checked rules so CI fails the moment a PR reintroduces a
 //! nondeterministic input (DESIGN.md "Determinism invariants").
 //!
-//! The scanner is a hand-rolled lexer, not a `syn` parse: the build must
-//! work fully offline with zero dependencies, and token-level scanning is
-//! all the rules need. The lexer correctly skips string literals (including
-//! raw and byte strings), char literals (without tripping on lifetimes) and
-//! nested block comments, so `"Instant::now"` inside a string or comment is
-//! never flagged.
+//! Everything is hand-rolled — no `syn`, no dependencies — so the lint
+//! builds fully offline and can never be broken by a vendored-dep change.
+//! Two analysis layers share one front end:
+//!
+//! - a per-line **lexer** ([`lex`]) feeding six token rules (string/char
+//!   literal contents blanked, comments routed to their own channel, so
+//!   `"Instant::now"` in a string or comment is never flagged);
+//! - a full **tokenizer** ([`token`]) + **item parser** ([`parse`])
+//!   building a per-crate symbol table and a conservative name-resolved
+//!   **call graph** ([`graph`], queryable via `detlint graph --dot`),
+//!   feeding three flow rules ([`flow`]).
 //!
 //! ## Rules
+//!
+//! Token rules (hard-fail — the tree is clean and stays clean):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -25,7 +32,19 @@
 //! | `hash_collections` | no `HashMap`/`HashSet` in deterministic crates' `src/` — use `BTreeMap`/`BTreeSet` |
 //! | `thread_spawn` | no `thread::spawn` outside the trial harness |
 //! | `unsafe_safety` | every `unsafe` is preceded by a `// SAFETY:` comment |
-//! | `hot_path_unwrap` | no bare `.unwrap()` in replication/journal/WAL hot paths |
+//! | `hot_path_unwrap` | legacy file-list unwrap ban (superseded by `panic_reachable`) |
+//!
+//! Flow rules (ratcheted against `detlint.lock` — see [`lock`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic_reachable` | no panic source (`unwrap`, non-invariant `expect`, `panic!`, indexing, …) within K call edges of a replication entry point |
+//! | `sim_purity` | nothing reachable from a kernel event handler touches `std::fs`/`io`/`net`/`process`/`env` |
+//! | `float_ordering` | no `f32`/`f64` in `Ord` impls, `BTreeMap` keys, or digest/export-reachable state |
+//!
+//! `.expect("invariant: …")` — a message that *names the invariant* — is
+//! the sanctioned way to assert unreachable states on the hot path;
+//! `panic_reachable` accepts it and flags everything else.
 //!
 //! ## Waivers
 //!
@@ -37,13 +56,24 @@
 //!
 //! The reason after the closing paren is mandatory; a reasonless waiver is
 //! itself reported. File-level allowlists live in `detlint.toml` at the
-//! workspace root.
+//! workspace root. Flow-rule findings that are accepted debt live in
+//! `detlint.lock` instead — fingerprinted by rule + path + symbol (never
+//! line numbers) and burned down monotonically via `--update-lock`.
 
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod flow;
+pub mod graph;
+pub mod lock;
+pub mod parse;
+pub mod token;
+
+pub use graph::CallGraph;
+pub use lock::{ratchet, Lock, RatchetReport};
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -250,14 +280,18 @@ pub fn find_word(haystack: &str, needle: &str) -> bool {
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The six rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+/// The nine rule identifiers, in reporting order: the six token rules,
+/// then the three flow rules (which ratchet against `detlint.lock`).
+pub const RULE_NAMES: [&str; 9] = [
     "wall_clock",
     "ambient_rng",
     "hash_collections",
     "thread_spawn",
     "unsafe_safety",
     "hot_path_unwrap",
+    "panic_reachable",
+    "sim_purity",
+    "float_ordering",
 ];
 
 /// One diagnostic.
@@ -269,6 +303,10 @@ pub struct Finding {
     pub line: usize,
     /// Rule identifier (one of [`RULE_NAMES`]).
     pub rule: &'static str,
+    /// Enclosing symbol (qualified fn or type name) for flow-rule
+    /// findings; `None` for the token rules. Part of the lock
+    /// fingerprint, so it must be stable under unrelated line edits.
+    pub symbol: Option<String>,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -290,10 +328,22 @@ pub struct Config {
     /// rule name → workspace-relative paths where findings are allowed.
     pub allow: BTreeMap<String, Vec<String>>,
     /// Crates (directory names under `crates/`) whose `src/` must not use
-    /// hash collections.
+    /// hash collections (and whose state `float_ordering` polices).
     pub deterministic_crates: Vec<String>,
-    /// Files whose bare `unwrap()`s are hot-path findings.
+    /// Files whose bare `unwrap()`s are hot-path findings. Legacy: the
+    /// shipped `detlint.toml` no longer lists any — `panic_reachable`
+    /// covers the hot path by reachability, not by file list.
     pub hot_paths: Vec<String>,
+    /// `panic_reachable` entry-point patterns (see
+    /// [`CallGraph::match_pattern`] for the pattern grammar).
+    pub panic_entry_points: Vec<String>,
+    /// Maximum call-edge distance `panic_reachable` explores (the K in
+    /// "reachable within K call edges").
+    pub panic_max_depth: usize,
+    /// `sim_purity` entry-point patterns (kernel event handlers).
+    pub purity_entry_points: Vec<String>,
+    /// Maximum call-edge distance `sim_purity` explores.
+    pub purity_max_depth: usize,
 }
 
 impl Config {
@@ -303,11 +353,18 @@ impl Config {
             allow: BTreeMap::new(),
             deterministic_crates: Vec::new(),
             hot_paths: Vec::new(),
+            panic_entry_points: Vec::new(),
+            panic_max_depth: 12,
+            purity_entry_points: Vec::new(),
+            purity_max_depth: 16,
         }
     }
 
     /// The built-in defaults, mirroring the shipped `detlint.toml`. Used
     /// when no config file is present so the binary is useful standalone.
+    /// (`hot_paths` keeps the pre-v2 file list here for standalone use,
+    /// even though the shipped config has retired it in favor of
+    /// `panic_reachable`.)
     pub fn default_repo() -> Self {
         let mut allow = BTreeMap::new();
         allow.insert(
@@ -320,9 +377,11 @@ impl Config {
         );
         Config {
             allow,
-            deterministic_crates: ["sim", "storage", "core", "minidb", "plugin", "chaos"]
-                .map(str::to_owned)
-                .to_vec(),
+            deterministic_crates: [
+                "sim", "storage", "core", "minidb", "plugin", "chaos", "telemetry", "history",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
             hot_paths: [
                 "crates/storage/src/journal.rs",
                 "crates/storage/src/array.rs",
@@ -332,6 +391,32 @@ impl Config {
             ]
             .map(str::to_owned)
             .to_vec(),
+            panic_entry_points: [
+                "engine::persist",
+                "engine::host_write",
+                "engine::sdc_leg_send",
+                "engine::sdc_leg_arrive",
+                "engine::sdc_leg_done",
+                "engine::kick_transfer",
+                "engine::run_transfer",
+                "engine::receive_batch",
+                "engine::kick_apply",
+                "engine::run_apply",
+                "engine::finish_apply",
+                "engine::release_primary_upto",
+                "Journal::*",
+                "AckLog::append",
+                "WalWriter::append",
+                "wal::scan_wal",
+                "StorageOp::dispatch",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            panic_max_depth: 12,
+            purity_entry_points: ["*::dispatch", "Sim::step", "Sim::run", "Sim::run_until"]
+                .map(str::to_owned)
+                .to_vec(),
+            purity_max_depth: 16,
         }
     }
 
@@ -379,7 +464,7 @@ fn parse_waivers(comment: &str) -> Vec<Waiver> {
 }
 
 /// Crate directory name for a `crates/<name>/...` path, if any.
-fn crate_of(path: &str) -> Option<&str> {
+pub(crate) fn crate_of(path: &str) -> Option<&str> {
     path.strip_prefix("crates/")?.split('/').next()
 }
 
@@ -402,6 +487,7 @@ pub fn check_file(path: &str, source: &str, config: &Config) -> Vec<Finding> {
             file: path.to_owned(),
             line,
             rule,
+            symbol: None,
             message,
         });
     };
@@ -535,6 +621,7 @@ pub fn check_file(path: &str, source: &str, config: &Config) -> Vec<Finding> {
                         .find(|r| w.rules.iter().any(|x| x == **r))
                         .copied()
                         .unwrap_or("wall_clock"),
+                    symbol: None,
                     message: format!(
                         "waiver `allow({})` has no reason; write \
                          `// detlint: allow(rule) — why this is sound`",
@@ -599,8 +686,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint a whole workspace rooted at `root`. Paths in findings are
-/// `root`-relative with forward slashes.
+/// Lint a whole workspace rooted at `root` with the token rules only.
+/// Paths in findings are `root`-relative with forward slashes.
 pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for file in workspace_files(root)? {
@@ -616,24 +703,123 @@ pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Find
     Ok(findings)
 }
 
+/// The result of a full v2 analysis: the call graph (queryable via
+/// `detlint graph`) plus every finding from all nine rules.
+pub struct Analysis {
+    /// The workspace call graph over production (`src/`) code.
+    pub graph: CallGraph,
+    /// All findings — token rules and flow rules — sorted and deduped,
+    /// with allowlists and inline waivers already applied. Callers diff
+    /// the ratcheted subset against `detlint.lock` via [`lock::ratchet`].
+    pub findings: Vec<Finding>,
+}
+
+/// Run the full analysis: the six token rules over every lintable file,
+/// then the item parser + call graph over production `src/` code feeding
+/// the three flow rules (`panic_reachable`, `sim_purity`,
+/// `float_ordering`). Inline waivers and `[allow.<rule>]` lists apply to
+/// flow findings exactly as they do to token findings.
+pub fn analyze_workspace(root: &Path, config: &Config) -> std::io::Result<Analysis> {
+    let mut findings = check_workspace(root, config)?;
+
+    let mut fns = Vec::new();
+    let mut parsed: Vec<(String, parse::FileSymbols)> = Vec::new();
+    let mut flow_findings: Vec<Finding> = Vec::new();
+    let mut waiver_tables: BTreeMap<String, Vec<Vec<Waiver>>> = BTreeMap::new();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The graph models production code: `tests/` never feeds the
+        // symbol table (test helpers share names like `apply` with hot-path
+        // fns and would pollute reachability). `#[cfg(test)]` mods are
+        // dropped by the parser itself.
+        if !rel.contains("/src/") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&file)?;
+        let krate = crate_of(&rel).unwrap_or("workspace").to_owned();
+        let toks = token::tokenize(&source);
+        flow_findings.extend(flow::float_keyed_collections(&rel, &toks, config));
+        let syms = parse::parse_file(&rel, &krate, &toks);
+        fns.extend(syms.fns.clone());
+        parsed.push((rel.clone(), syms));
+        waiver_tables.insert(
+            rel,
+            lex(&source).iter().map(|l| parse_waivers(&l.comment)).collect(),
+        );
+    }
+    let graph = CallGraph::build(fns);
+    flow_findings.extend(flow::panic_reachable(&graph, config));
+    flow_findings.extend(flow::sim_purity(&graph, config));
+    flow_findings.extend(flow::float_ordering(&parsed, config));
+
+    flow_findings.retain(|f| {
+        if config.is_allowed(f.rule, &f.file) {
+            return false;
+        }
+        let Some(waivers) = waiver_tables.get(&f.file) else {
+            return true;
+        };
+        let mut lines_to_check = vec![f.line - 1];
+        if f.line >= 2 {
+            lines_to_check.push(f.line - 2);
+        }
+        for li in lines_to_check {
+            let Some(ws) = waivers.get(li) else { continue };
+            for w in ws {
+                if w.rules.iter().any(|r| r == f.rule) {
+                    return !w.has_reason; // reasonless waivers do not count
+                }
+            }
+        }
+        true
+    });
+
+    findings.extend(flow_findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule, &a.symbol).cmp(&(&b.file, b.line, b.rule, &b.symbol)));
+    findings.dedup();
+    Ok(Analysis { graph, findings })
+}
+
 // ---------------------------------------------------------------------------
 // Config file (TOML subset)
 // ---------------------------------------------------------------------------
 
 /// Parse `detlint.toml`. Supported subset: `[section.name]` headers,
-/// `key = ["a", "b"]` string arrays (single- or multi-line), `#` comments.
-/// Sections map onto [`Config`]:
+/// `key = ["a", "b"]` string arrays (single- or multi-line), bare
+/// `key = 12` integers, `#` comments. Sections map onto [`Config`]:
 ///
 /// - `[allow.<rule>]` / `paths = [...]` — per-rule file allowlist;
 /// - `[rules.hash_collections]` / `crates = [...]` — deterministic crates;
-/// - `[rules.hot_path_unwrap]` / `paths = [...]` — hot-path files.
+/// - `[rules.hot_path_unwrap]` / `paths = [...]` — legacy hot-path files;
+/// - `[rules.panic_reachable]` / `entry_points = [...]`, `max_depth = K`;
+/// - `[rules.sim_purity]` / `entry_points = [...]`, `max_depth = K`.
 pub fn parse_config(text: &str) -> Result<Config, String> {
     let mut cfg = Config::empty();
     let mut section = String::new();
     let mut pending_key: Option<String> = None;
     let mut pending_val = String::new();
 
-    let mut apply = |section: &str, key: &str, values: Vec<String>| -> Result<(), String> {
+    let mut apply = |section: &str, key: &str, value: TomlValue| -> Result<(), String> {
+        let strings = |value: TomlValue| -> Result<Vec<String>, String> {
+            match value {
+                TomlValue::Strings(v) => Ok(v),
+                TomlValue::Int(_) => {
+                    Err(format!("[{section}] `{key}` expects a string array"))
+                }
+            }
+        };
+        let int = |value: TomlValue| -> Result<usize, String> {
+            match value {
+                TomlValue::Int(n) => Ok(n),
+                TomlValue::Strings(_) => {
+                    Err(format!("[{section}] `{key}` expects an integer"))
+                }
+            }
+        };
         if let Some(rule) = section.strip_prefix("allow.") {
             if key != "paths" {
                 return Err(format!("[{section}] supports only `paths`, got `{key}`"));
@@ -641,11 +827,22 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             if !RULE_NAMES.contains(&rule) {
                 return Err(format!("unknown rule `{rule}` in [{section}]"));
             }
-            cfg.allow.entry(rule.to_owned()).or_default().extend(values);
+            cfg.allow
+                .entry(rule.to_owned())
+                .or_default()
+                .extend(strings(value)?);
         } else if section == "rules.hash_collections" && key == "crates" {
-            cfg.deterministic_crates = values;
+            cfg.deterministic_crates = strings(value)?;
         } else if section == "rules.hot_path_unwrap" && key == "paths" {
-            cfg.hot_paths = values;
+            cfg.hot_paths = strings(value)?;
+        } else if section == "rules.panic_reachable" && key == "entry_points" {
+            cfg.panic_entry_points = strings(value)?;
+        } else if section == "rules.panic_reachable" && key == "max_depth" {
+            cfg.panic_max_depth = int(value)?;
+        } else if section == "rules.sim_purity" && key == "entry_points" {
+            cfg.purity_entry_points = strings(value)?;
+        } else if section == "rules.sim_purity" && key == "max_depth" {
+            cfg.purity_max_depth = int(value)?;
         } else {
             return Err(format!("unrecognized `{key}` in [{section}]"));
         }
@@ -658,7 +855,7 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
         if let Some(key) = pending_key.clone() {
             pending_val.push_str(line.trim());
             if balanced(&pending_val) {
-                apply(&section, &key, parse_string_array(&pending_val)?)?;
+                apply(&section, &key, TomlValue::Strings(parse_string_array(&pending_val)?))?;
                 pending_key = None;
                 pending_val.clear();
             }
@@ -675,8 +872,10 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             return Err(format!("unparseable line: `{t}`"));
         };
         let (k, v) = (k.trim().to_owned(), v.trim().to_owned());
-        if balanced(&v) {
-            apply(&section, &k, parse_string_array(&v)?)?;
+        if let Ok(n) = v.parse::<usize>() {
+            apply(&section, &k, TomlValue::Int(n))?;
+        } else if balanced(&v) {
+            apply(&section, &k, TomlValue::Strings(parse_string_array(&v)?))?;
         } else {
             pending_key = Some(k);
             pending_val = v;
@@ -686,6 +885,12 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
         return Err("unterminated array at end of file".to_owned());
     }
     Ok(cfg)
+}
+
+/// A parsed TOML-subset value: a string array or a bare integer.
+enum TomlValue {
+    Strings(Vec<String>),
+    Int(usize),
 }
 
 /// Strip a `#` comment, respecting double-quoted strings.
@@ -755,7 +960,16 @@ pub fn render_json(findings: &[Finding]) -> String {
         s.push_str(&f.line.to_string());
         s.push_str(", \"rule\": \"");
         json_escape(&mut s, f.rule);
-        s.push_str("\", \"message\": \"");
+        s.push_str("\", \"symbol\": ");
+        match &f.symbol {
+            Some(sym) => {
+                s.push('"');
+                json_escape(&mut s, sym);
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(", \"message\": \"");
         json_escape(&mut s, &f.message);
         s.push_str("\"}");
     }
@@ -926,7 +1140,7 @@ mod tests {
     }
 
     #[test]
-    fn config_roundtrip_matches_defaults() {
+    fn config_roundtrip_parses_every_section() {
         let toml = r##"
             # comment
             [allow.wall_clock]
@@ -941,17 +1155,35 @@ mod tests {
             [rules.hot_path_unwrap]
             paths = [
                 "crates/storage/src/journal.rs",
-                "crates/storage/src/array.rs",
-                "crates/storage/src/acklog.rs",
                 "crates/minidb/src/wal.rs",
-                "crates/plugin/src/replication.rs",
             ]
+
+            [rules.panic_reachable]
+            entry_points = ["engine::persist", "Journal::*"]
+            max_depth = 7
+
+            [rules.sim_purity]
+            entry_points = ["*::dispatch"]
+            max_depth = 9
         "##;
         let cfg = parse_config(toml).expect("parses");
         let def = Config::default_repo();
         assert_eq!(cfg.allow, def.allow);
-        assert_eq!(cfg.deterministic_crates, def.deterministic_crates);
-        assert_eq!(cfg.hot_paths, def.hot_paths);
+        assert_eq!(
+            cfg.deterministic_crates,
+            ["sim", "storage", "core", "minidb", "plugin", "chaos"].map(str::to_owned)
+        );
+        assert_eq!(
+            cfg.hot_paths,
+            ["crates/storage/src/journal.rs", "crates/minidb/src/wal.rs"].map(str::to_owned)
+        );
+        assert_eq!(
+            cfg.panic_entry_points,
+            ["engine::persist", "Journal::*"].map(str::to_owned)
+        );
+        assert_eq!(cfg.panic_max_depth, 7);
+        assert_eq!(cfg.purity_entry_points, ["*::dispatch"].map(str::to_owned));
+        assert_eq!(cfg.purity_max_depth, 9);
     }
 
     #[test]
@@ -959,20 +1191,34 @@ mod tests {
         assert!(parse_config("[allow.made_up]\npaths = [\"x\"]\n").is_err());
         assert!(parse_config("[allow.wall_clock]\nbogus = [\"x\"]\n").is_err());
         assert!(parse_config("[rules.hot_path_unwrap]\npaths = [\"x\"\n").is_err());
+        assert!(parse_config("[rules.panic_reachable]\nmax_depth = [\"x\"]\n").is_err());
+        assert!(parse_config("[rules.sim_purity]\nentry_points = 3\n").is_err());
     }
 
     #[test]
     fn json_report_shape() {
-        let findings = vec![Finding {
-            file: "a/b.rs".to_owned(),
-            line: 3,
-            rule: "wall_clock",
-            message: "a \"quoted\" message".to_owned(),
-        }];
+        let findings = vec![
+            Finding {
+                file: "a/b.rs".to_owned(),
+                line: 3,
+                rule: "wall_clock",
+                symbol: None,
+                message: "a \"quoted\" message".to_owned(),
+            },
+            Finding {
+                file: "a/c.rs".to_owned(),
+                line: 9,
+                rule: "panic_reachable",
+                symbol: Some("Engine::persist".to_owned()),
+                message: "m".to_owned(),
+            },
+        ];
         let json = render_json(&findings);
-        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"total\": 2"));
         assert!(json.contains("\"file\": \"a/b.rs\""));
         assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"symbol\": null"));
+        assert!(json.contains("\"symbol\": \"Engine::persist\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(render_json(&[]).contains("\"total\": 0"));
     }

@@ -1,0 +1,17 @@
+//! Fixture: deterministic ordering — integer keys, `total_cmp`, and float
+//! state kept out of `Ord` positions. Never compiled.
+
+use std::collections::BTreeMap;
+
+// Fixed-point key: ordering is total and bit-stable.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+pub struct LagNanos {
+    pub nanos: u64,
+}
+
+// Floats are fine as *values*; only key/ordering positions are policed.
+pub type ByLag = BTreeMap<u64, f64>;
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,19 @@
+//! Fixture: floats in ordering positions inside a deterministic crate.
+//! Intentionally violates `float_ordering`; never compiled.
+
+use std::collections::BTreeMap;
+
+// Float fields + a derived ordering: NaN makes the order partial and the
+// bits are target-dependent.
+#[derive(PartialEq, PartialOrd)]
+pub struct Lag {
+    pub secs: f64,
+}
+
+// A float-keyed ordered collection.
+pub type ByLag = BTreeMap<f64, u64>;
+
+pub fn rank(xs: &mut [f64]) {
+    // Panics on NaN and encodes a partial order.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,15 @@
+//! Fixture: each float-ordering site waived with a reason. Never compiled.
+
+use std::collections::BTreeMap;
+
+#[derive(PartialEq, PartialOrd)] // detlint: allow(float_ordering) — fixture: display-only ordering, never digested
+pub struct Lag {
+    pub secs: f64,
+}
+
+pub type ByLag = BTreeMap<u64, f64>; // integer-keyed: nothing to waive
+
+pub fn rank(xs: &mut [f64]) {
+    // detlint: allow(float_ordering) — fixture: inputs are pre-filtered finite
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,27 @@
+//! Fixture: the hot path is panic-free — typed errors and sanctioned
+//! invariant-message expects only. A panic in a function *not* reachable
+//! from an entry point is fine. Never compiled.
+
+pub struct HotError;
+
+pub fn persist(batch: &[u64]) -> Result<u64, HotError> {
+    step(batch)
+}
+
+fn step(batch: &[u64]) -> Result<u64, HotError> {
+    // Typed error instead of a panic.
+    let first = batch.first().copied().ok_or(HotError)?;
+    // `.expect("invariant: …")` is the sanctioned assertion form.
+    let second = lookup(first).expect("invariant: lookup is total for admitted keys");
+    Ok(first + second)
+}
+
+fn lookup(k: u64) -> Option<u64> {
+    Some(k)
+}
+
+// Not reachable from any entry point — a bare unwrap here is cold-path
+// code and out of scope for the rule.
+fn report_tool(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

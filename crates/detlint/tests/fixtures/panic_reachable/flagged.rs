@@ -1,0 +1,23 @@
+//! Fixture: panic sources reachable from a replication entry point
+//! (`engine::persist` — this file plays the role of `engine.rs`).
+//! Intentionally violates `panic_reachable`; never compiled.
+
+pub fn persist(batch: &[u64]) -> u64 {
+    step(batch)
+}
+
+fn step(batch: &[u64]) -> u64 {
+    deep(batch)
+}
+
+fn deep(batch: &[u64]) -> u64 {
+    // Two edges from the entry point: a bare unwrap, a non-invariant
+    // expect, and a slice index — all three are findings.
+    let first = batch.first().copied().unwrap();
+    let second = lookup(first).expect("lookup failed");
+    first + second + batch[1]
+}
+
+fn lookup(k: u64) -> Option<u64> {
+    if k > 0 { Some(k) } else { None }
+}

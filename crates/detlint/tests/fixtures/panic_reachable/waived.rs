@@ -1,0 +1,13 @@
+//! Fixture: the same reachable panic sources, each waived with a reason.
+//! Never compiled.
+
+pub fn persist(batch: &[u64]) -> u64 {
+    step(batch)
+}
+
+fn step(batch: &[u64]) -> u64 {
+    // detlint: allow(panic_reachable) — fixture: batch validated by the caller
+    let first = batch.first().copied().unwrap();
+    // detlint: allow(panic_reachable) — fixture: index bounded by the check above
+    first + batch[1]
+}

@@ -1,0 +1,23 @@
+//! Fixture: the handler stays hermetic — every effect flows through the
+//! world state it was handed. Never compiled.
+
+pub struct StorageOp;
+
+pub struct World {
+    pub blocks: Vec<u64>,
+}
+
+impl StorageOp {
+    pub fn dispatch(self, w: &mut World) {
+        apply(w);
+    }
+}
+
+fn apply(w: &mut World) {
+    w.blocks.push(1);
+}
+
+// Ambient state in a function no handler reaches is out of scope.
+fn offline_export() {
+    let _ = std::fs::read_to_string("report.txt");
+}

@@ -1,0 +1,16 @@
+//! Fixture: a kernel event handler (`*::dispatch`) reaching ambient
+//! state. Intentionally violates `sim_purity`; never compiled.
+
+pub struct StorageOp;
+
+impl StorageOp {
+    pub fn dispatch(self) {
+        helper();
+    }
+}
+
+fn helper() {
+    // One edge from dispatch: reads the real filesystem — the sim world
+    // is no longer hermetic.
+    let _ = std::fs::read_to_string("state.txt");
+}

@@ -1,0 +1,14 @@
+//! Fixture: the ambient touch is waived with a reason. Never compiled.
+
+pub struct StorageOp;
+
+impl StorageOp {
+    pub fn dispatch(self) {
+        helper();
+    }
+}
+
+fn helper() {
+    // detlint: allow(sim_purity) — fixture: one-shot config load, happens before the event loop starts
+    let _ = std::fs::read_to_string("state.txt");
+}

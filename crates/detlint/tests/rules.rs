@@ -1,18 +1,20 @@
 //! Integration tests: every rule has a flagged, a waived, and a clean
 //! fixture under `tests/fixtures/<rule>/`; the workspace walk flags an
-//! injected violation; and the real repo itself lints clean under the
-//! shipped `detlint.toml`.
+//! injected violation; and the real repo itself analyzes ratchet-clean
+//! under the shipped `detlint.toml` + `detlint.lock`.
 //!
 //! Fixtures are read from disk (they intentionally violate the rules, so
 //! the walker skips `fixtures` directories, and they are never compiled).
-//! Each fixture is checked under a *virtual* workspace path chosen to put
-//! it in the rule's scope.
+//! Token-rule fixtures are checked under a *virtual* workspace path chosen
+//! to put them in the rule's scope; flow-rule fixtures are materialized
+//! into a throwaway workspace so the call-graph analyzer runs for real.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 
-use detlint::{check_file, check_workspace, parse_config, Config};
+use detlint::lock::{parse_lock, ratchet};
+use detlint::{analyze_workspace, check_file, check_workspace, parse_config, Config, Finding};
 
 fn fixture(rule: &str, kind: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -43,6 +45,70 @@ const ALL_RULES: [&str; 6] = [
     "unsafe_safety",
     "hot_path_unwrap",
 ];
+
+/// The flow rules need the full analyzer, not `check_file`: the fixture is
+/// placed into a throwaway workspace at a path that puts it in scope.
+const FLOW_RULES: [(&str, &str); 3] = [
+    // `engine.rs` file-stem makes its free fns match `engine::persist`.
+    ("panic_reachable", "crates/demo/src/engine.rs"),
+    // Any src path works: entry points are `*::dispatch` patterns.
+    ("sim_purity", "crates/demo/src/event.rs"),
+    // Must live in a deterministic crate's src/.
+    ("float_ordering", "crates/demo/src/state.rs"),
+];
+
+fn flow_analyze(rule: &str, kind: &str, rel: &str) -> Vec<Finding> {
+    let root =
+        PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("detlint_flow_{rule}_{kind}"));
+    let dst = root.join(rel);
+    std::fs::create_dir_all(dst.parent().expect("fixture path has a parent")).expect("mkdir");
+    std::fs::write(&dst, fixture(rule, kind)).expect("write fixture");
+    let mut cfg = Config::default_repo();
+    cfg.deterministic_crates.push("demo".to_owned());
+    analyze_workspace(&root, &cfg).expect("analyze").findings
+}
+
+#[test]
+fn every_flow_rule_flags_its_flagged_fixture() {
+    for (rule, rel) in FLOW_RULES {
+        let findings = flow_analyze(rule, "flagged", rel);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{rule}/flagged.rs produced no {rule} finding: {findings:?}"
+        );
+        // Flow findings carry the enclosing symbol (the lock fingerprint
+        // needs it to be stable under line edits).
+        assert!(
+            findings
+                .iter()
+                .filter(|f| f.rule == rule)
+                .all(|f| f.symbol.is_some()),
+            "{rule} findings missing symbols: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_flow_rule_accepts_its_waived_fixture() {
+    for (rule, rel) in FLOW_RULES {
+        let findings = flow_analyze(rule, "waived", rel);
+        assert!(
+            findings.is_empty(),
+            "{rule}/waived.rs still has findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_flow_rule_accepts_its_clean_fixture() {
+    for (rule, rel) in FLOW_RULES {
+        let findings = flow_analyze(rule, "clean", rel);
+        assert!(
+            findings.is_empty(),
+            "{rule}/clean.rs has findings: {findings:?}"
+        );
+    }
+}
 
 #[test]
 fn every_rule_flags_its_flagged_fixture() {
@@ -140,12 +206,13 @@ fn fixtures_directories_are_skipped_by_the_walk() {
     assert!(findings.is_empty(), "fixtures dir was not skipped: {findings:?}");
 }
 
-/// The repo's own acceptance gate: the tree this test ships in must lint
-/// clean under the shipped detlint.toml. This is what `cargo run -p
-/// detlint` asserts in CI, pinned here so `cargo test` alone catches a
-/// regression.
+/// The repo's own acceptance gate: the tree this test ships in must
+/// analyze ratchet-clean under the shipped `detlint.toml` +
+/// `detlint.lock` — no new flow findings, no stale lock entries, and the
+/// token rules spotless. This is what `cargo run -p detlint` asserts in
+/// CI, pinned here so `cargo test` alone catches a regression.
 #[test]
-fn repo_lints_clean_under_shipped_config() {
+fn repo_analyzes_clean_under_shipped_config_and_lock() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let toml_path = root.join("detlint.toml");
     let cfg = match std::fs::read_to_string(&toml_path) {
@@ -154,14 +221,20 @@ fn repo_lints_clean_under_shipped_config() {
         // nothing to assert.
         Err(_) => return,
     };
-    let findings = check_workspace(&root, &cfg).expect("walk repo");
+    let lock_text =
+        std::fs::read_to_string(root.join("detlint.lock")).unwrap_or_default();
+    let lock = parse_lock(&lock_text).expect("detlint.lock parses");
+    let analysis = analyze_workspace(&root, &cfg).expect("analyze repo");
+    let report = ratchet(&analysis.findings, &lock);
     assert!(
-        findings.is_empty(),
-        "repo has unwaived findings:\n{}",
-        findings
+        report.is_clean(),
+        "repo is not ratchet-clean.\nnew findings:\n{}\nstale lock entries:\n{}",
+        report
+            .new
             .iter()
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n"),
+        report.stale.join("\n")
     );
 }

@@ -256,7 +256,10 @@ impl Arena {
         {
             self.chunks.push(Vec::with_capacity(CHUNK));
         }
-        self.chunks.last_mut().expect("chunk exists").push(r);
+        self.chunks
+            .last_mut()
+            .expect("invariant: a chunk was pushed just above when full or empty")
+            .push(r);
         self.len += 1;
     }
 

@@ -151,7 +151,7 @@ impl<S, E: Event<S>> Sim<S, E> {
         let t = self
             .now
             .checked_add(delay)
-            .expect("event time overflow: delay too large");
+            .expect("invariant: sim time never overflows u64 nanoseconds in a bounded run");
         self.schedule_event_at(t, ev)
     }
 
@@ -183,7 +183,7 @@ impl<S, E: Event<S>> Sim<S, E> {
         let t = self
             .now
             .checked_add(delay)
-            .expect("event time overflow: delay too large");
+            .expect("invariant: sim time never overflows u64 nanoseconds in a bounded run");
         self.schedule_at(t, f);
     }
 

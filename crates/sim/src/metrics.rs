@@ -69,7 +69,10 @@ impl Histogram {
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
         let idx = Self::bucket_index(value);
-        self.counts[idx] += 1;
+        *self
+            .counts
+            .get_mut(idx)
+            .expect("invariant: bucket_index is bounded by the counts table size") += 1;
         self.total += 1;
         self.sum += value as u128;
         self.min = self.min.min(value);

@@ -51,12 +51,16 @@ impl Network {
     /// Panics on an unknown id — link ids are created by this registry, so a
     /// miss is a programming error, not a runtime condition.
     pub fn link(&self, id: LinkId) -> &Link {
-        self.links.get(&id).expect("unknown LinkId")
+        self.links
+            .get(&id)
+            .expect("invariant: LinkId is only minted by add_link")
     }
 
     /// Mutably borrow a link.
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
-        self.links.get_mut(&id).expect("unknown LinkId")
+        self.links
+            .get_mut(&id)
+            .expect("invariant: LinkId is only minted by add_link")
     }
 
     /// Number of registered links.
@@ -131,7 +135,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown LinkId")]
+    #[should_panic(expected = "LinkId is only minted by add_link")]
     fn unknown_link_panics() {
         let net = Network::new();
         let _ = net.link(LinkId(7));

@@ -220,7 +220,7 @@ impl StorageArray {
     pub fn volume(&self, id: VolumeId) -> &Volume {
         self.volumes
             .get(&id)
-            .unwrap_or_else(|| panic!("unknown volume v{} on {}", id.0, self.name))
+            .expect("invariant: VolumeId is only minted by create_volume")
     }
 
     /// Mutably borrow a volume (control-plane use; data-plane writes must go
@@ -251,7 +251,7 @@ impl StorageArray {
     pub fn admit(&mut self, vol: VolumeId, now: SimTime, service: SimDuration) -> SimTime {
         self.stations
             .get_mut(&vol)
-            .unwrap_or_else(|| panic!("no station for v{}", vol.0))
+            .expect("invariant: every volume gets a station at create_volume")
             .admit(now, service)
     }
 
@@ -268,8 +268,12 @@ impl StorageArray {
             Some(v) => {
                 let allocates = lba < v.size_blocks() && v.read(lba).is_none();
                 let pool = self.pool_of(vol);
-                if allocates && !self.pools[pool.0 as usize].has_room(1) {
-                    self.pools[pool.0 as usize].count_rejection();
+                let p = self
+                    .pools
+                    .get_mut(pool.0 as usize)
+                    .expect("invariant: PoolId is only minted by add_pool");
+                if allocates && !p.has_room(1) {
+                    p.count_rejection();
                     return Err(WriteError::PoolExhausted);
                 }
                 Ok(())
@@ -288,7 +292,7 @@ impl StorageArray {
                     .filter(|sid| {
                         self.snapshots
                             .get(sid)
-                            .expect("snapshot index desync")
+                            .expect("invariant: by_base ids always exist in the snapshot table")
                             .needs_preserve(lba)
                     })
                     .count() as u32
@@ -309,11 +313,11 @@ impl StorageArray {
                 let old = self
                     .volumes
                     .get(&vol)
-                    .unwrap_or_else(|| panic!("unknown volume v{}", vol.0))
+                    .expect("invariant: VolumeId is only minted by create_volume")
                     .read(lba)
                     .cloned();
                 for sid in snaps {
-                    let snap = self.snapshots.get_mut(sid).expect("snapshot index desync");
+                    let snap = self.snapshots.get_mut(sid).expect("invariant: by_base ids always exist in the snapshot table");
                     if snap.preserve(lba, old.as_ref()) {
                         cow += 1;
                         if old.is_some() {
@@ -327,11 +331,14 @@ impl StorageArray {
         let previous = self
             .volumes
             .get_mut(&vol)
-            .unwrap_or_else(|| panic!("unknown volume v{}", vol.0))
+            .expect("invariant: VolumeId is only minted by create_volume")
             .write(lba, data);
         let newly_allocated = u64::from(previous.is_none());
         let pool = self.pool_of(vol);
-        self.pools[pool.0 as usize].force_charge(newly_allocated + cow_with_data);
+        self.pools
+            .get_mut(pool.0 as usize)
+            .expect("invariant: PoolId is only minted by add_pool")
+            .force_charge(newly_allocated + cow_with_data);
         cow
     }
 
@@ -391,7 +398,7 @@ impl StorageArray {
     pub fn snapshot(&self, id: SnapshotId) -> &Snapshot {
         self.snapshots
             .get(&id)
-            .unwrap_or_else(|| panic!("unknown snapshot {}", id.0))
+            .expect("invariant: SnapshotId is only minted by create_snapshot")
     }
 
     /// Delete a snapshot, releasing its preserved blocks back to the pool.

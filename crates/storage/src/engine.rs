@@ -280,7 +280,7 @@ pub(crate) fn persist<S, E>(
                         let gid = st.fabric.pair(pid).group;
                         let g = st.fabric.group(gid);
                         if g.is_active() && g.mode == GroupMode::Adc {
-                            let jid = g.primary_jnl.expect("ADC group without journal");
+                            let jid = g.primary_jnl.expect("invariant: active ADC groups always carry a primary journal");
                             if !st.fabric.journal(jid).has_space(data.len()) {
                                 stall = true;
                             }
@@ -322,14 +322,14 @@ pub(crate) fn persist<S, E>(
                             GroupMode::Adc => {
                                 let jid = {
                                     let g = st.fabric.group(gid);
-                                    g.primary_jnl.expect("ADC group without journal")
+                                    g.primary_jnl.expect("invariant: active ADC groups always carry a primary journal")
                                 };
                                 if st.fabric.journal(jid).has_space(data.len()) {
                                     let seq = st
                                         .fabric
                                         .journal_mut(jid)
                                         .append(pid, lba, data.clone(), hash)
-                                        .expect("space was just checked");
+                                        .expect("invariant: space was checked immediately above");
                                     if st.tracer.is_enabled() {
                                         let jspan = st.tracer.span_complete(
                                             spans::JOURNAL_APPEND,
@@ -467,7 +467,7 @@ pub(crate) fn persist<S, E>(
                                 let cb = host_cb
                                     .borrow_mut()
                                     .take()
-                                    .expect("host callback fires exactly once");
+                                    .expect("invariant: the host callback fires exactly once");
                                 cb(s, sim, ack);
                             }
                         }),
@@ -715,7 +715,7 @@ where
         if !active || primary_failed {
             T::Idle
         } else {
-            let jid = jid.expect("ADC group without primary journal");
+            let jid = jid.expect("invariant: active ADC groups always carry a primary journal");
             // Flow control: while the sender-side serialization backlog is
             // deep, hold back — bits not yet on the wire die with the site.
             if st.net.link(link).backlog(now) > st.config.max_link_backlog {
@@ -737,7 +737,7 @@ where
                 match st.offer_link(link, now, payload) {
                     TransferOutcome::DeliveredAt { at, serialized } => {
                         let mut batch = batch;
-                        let last = batch.last().expect("non-empty").seq;
+                        let last = batch.last().expect("invariant: batch checked non-empty above").seq;
                         st.fabric.journal_mut(jid).mark_sent(last);
                         let g = st.fabric.group_mut(gid);
                         g.stats.frames_sent += 1;
@@ -899,7 +899,7 @@ pub(crate) fn receive_batch<S, E>(
             });
             return; // in-flight data discarded on promote/suspend/disaster
         }
-        let sjid = sjid.expect("ADC group without secondary journal");
+        let sjid = sjid.expect("invariant: active ADC groups always carry a secondary journal");
         for e in batch {
             st.fabric.journal_mut(sjid).push_arrived(e);
         }
@@ -947,7 +947,7 @@ where
         if !active {
             None
         } else {
-            let sjid = sjid.expect("ADC group without secondary journal");
+            let sjid = sjid.expect("invariant: active ADC groups always carry a secondary journal");
             match st.fabric.journal(sjid).peek_front() {
                 None => None,
                 Some(e) => {
@@ -1003,12 +1003,12 @@ pub(crate) fn finish_apply<S, E>(
                 .fabric
                 .group(gid)
                 .secondary_jnl
-                .expect("ADC group without secondary journal");
+                .expect("invariant: active ADC groups always carry a secondary journal");
             let e = st
                 .fabric
                 .journal_mut(sjid)
                 .pop_front()
-                .expect("apply completed without a journal entry");
+                .expect("invariant: an apply completion always has a queued journal entry");
             let sec = st.fabric.pair(e.pair).secondary;
             let parent = e.span;
             st.array_mut(sec.array).write_block(sec.volume, e.lba, e.data);

@@ -274,32 +274,32 @@ impl ReplicationFabric {
 
     /// Borrow a pair.
     pub fn pair(&self, id: PairId) -> &Pair {
-        &self.pairs[id.0 as usize]
+        self.pairs.get(id.0 as usize).expect("invariant: PairId is only minted by register_pair")
     }
 
     /// Mutably borrow a pair.
     pub fn pair_mut(&mut self, id: PairId) -> &mut Pair {
-        &mut self.pairs[id.0 as usize]
+        self.pairs.get_mut(id.0 as usize).expect("invariant: PairId is only minted by register_pair")
     }
 
     /// Borrow a group.
     pub fn group(&self, id: GroupId) -> &Group {
-        &self.groups[id.0 as usize]
+        self.groups.get(id.0 as usize).expect("invariant: GroupId is only minted by register_group")
     }
 
     /// Mutably borrow a group.
     pub fn group_mut(&mut self, id: GroupId) -> &mut Group {
-        &mut self.groups[id.0 as usize]
+        self.groups.get_mut(id.0 as usize).expect("invariant: GroupId is only minted by register_group")
     }
 
     /// Borrow a journal.
     pub fn journal(&self, id: JournalId) -> &Journal {
-        &self.journals[id.0 as usize]
+        self.journals.get(id.0 as usize).expect("invariant: JournalId is only minted by register_journal")
     }
 
     /// Mutably borrow a journal.
     pub fn journal_mut(&mut self, id: JournalId) -> &mut Journal {
-        &mut self.journals[id.0 as usize]
+        self.journals.get_mut(id.0 as usize).expect("invariant: JournalId is only minted by register_journal")
     }
 
     /// All group ids.

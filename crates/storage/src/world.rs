@@ -172,12 +172,12 @@ impl StorageWorld {
 
     /// Borrow an array.
     pub fn array(&self, id: ArrayId) -> &StorageArray {
-        &self.arrays[id.0 as usize]
+        self.arrays.get(id.0 as usize).expect("invariant: ArrayId is only minted by add_array")
     }
 
     /// Mutably borrow an array.
     pub fn array_mut(&mut self, id: ArrayId) -> &mut StorageArray {
-        &mut self.arrays[id.0 as usize]
+        self.arrays.get_mut(id.0 as usize).expect("invariant: ArrayId is only minted by add_array")
     }
 
     /// Number of registered arrays.
@@ -442,7 +442,7 @@ impl StorageWorld {
     /// Site disaster at `now`: the array stops serving I/O and replication
     /// frames that had not fully left the site are lost.
     pub fn fail_array(&mut self, id: ArrayId, now: SimTime) {
-        self.arrays[id.0 as usize].fail(now);
+        self.array_mut(id).fail(now);
     }
 
     /// Failover a group to the backup site: apply every journal entry that
@@ -653,7 +653,7 @@ impl StorageWorld {
         data: BlockBuf,
         hash: u64,
     ) -> u64 {
-        self.arrays[vol.array.0 as usize].write_block(vol.volume, lba, data);
+        self.array_mut(vol.array).write_block(vol.volume, lba, data);
         self.ack_log.append(vol, lba, hash, now)
     }
 
@@ -670,7 +670,7 @@ impl StorageWorld {
 
     /// Check whether a host write may proceed.
     pub(crate) fn check_host_write(&mut self, vol: VolRef, lba: u64) -> Result<(), WriteError> {
-        self.arrays[vol.array.0 as usize].check_host_write(vol.volume, lba)
+        self.array_mut(vol.array).check_host_write(vol.volume, lba)
     }
 
     /// Take the next per-volume issue ticket for an admitted host write.
