@@ -9,6 +9,7 @@
 //! cargo run -p tsuru-bench --release --bin repro --chaos    # chaos sweep (E8)
 //! cargo run -p tsuru-bench --release --bin repro trace      # traced chaos trials
 //! cargo run -p tsuru-bench --release --bin repro history    # history sweep (E9)
+//! cargo run -p tsuru-bench --release --bin repro e10        # convergence sweep (E10)
 //! ```
 //!
 //! `--threads N` sets the trial-harness worker count for the multi-trial
@@ -44,8 +45,8 @@ use tsuru_core::experiments::{
     e4_snapshot, e5_operator, e6_demo, e7_three_dc,
 };
 use tsuru_chaos::{
-    chaos_sweep, history_sweep, render_chaos_table, render_history_table, run_chaos_trial_traced,
-    ChaosConfig, FaultPlan,
+    chaos_sweep, convergence_sweep, history_sweep, render_chaos_table, render_convergence_table,
+    render_history_table, run_chaos_trial_traced, ChaosConfig, FaultPlan,
 };
 use tsuru_core::{BackupMode, HarnessStats, RigConfig, TrialHarness, TwoSiteRig};
 use tsuru_sim::SimDuration;
@@ -354,6 +355,35 @@ fn run_history(harness: &TrialHarness, opts: &Options) {
     }
 }
 
+/// The `e10` subcommand: the chaos-convergence sweep. Every seeded
+/// core-quartet plan replays against the consistency-group rig with the
+/// replication supervisor armed under each recovery policy; the auditor
+/// demands every paired group ends back at PAIR (or circuit-breaker
+/// parked, with an alarm) with zero violations.
+fn run_e10(harness: &TrialHarness, opts: &Options) {
+    println!("== E10 (extension): self-healing convergence — fault plans x recovery policies ==");
+    println!("   core-quartet plans, supervisor armed; staged backoff, delta->full degradation,");
+    println!("   circuit breaker; auditor demands convergence to PAIR after the last heal\n");
+    let cfg = ChaosConfig::default();
+    let set = convergence_sweep(harness, 0xC0FFEE, 4, &cfg);
+    report("e10", &set.stats);
+    let table = render_convergence_table(&set.rows);
+    println!("{table}");
+    maybe_csv(opts, "e10", &table);
+    println!("-- supervised auditor reports (default policy) --");
+    for trial in &set.rows {
+        if let Some(row) = trial.rows.iter().find(|r| r.policy == "default") {
+            print!("{}", row.report.render());
+        }
+    }
+    println!(
+        "\nexpect: every policy converges each trial to pair=1/1 parked=0 with zero\n\
+         violations; eager's tiny debt threshold degrades it to a full initial copy\n\
+         (full=1) and its short stage timeout closes the episode earliest; one\n\
+         attempt suffices even for fragile. Byte-identical at any --threads value.\n"
+    );
+}
+
 /// The `trace` subcommand: replay seeded chaos plans with the causal
 /// tracer on and export each trial's trace (JSONL + Chrome
 /// `trace_event`). Exports are byte-identical at any `--threads` value.
@@ -465,6 +495,11 @@ fn main() {
     // 2 modes), so it is not part of the default `all` set either.
     if opts.names.iter().any(|n| n == "history") {
         run_history(&harness, &opts);
+    }
+    // Opt-in only (`repro e10`): every plan replays once per recovery
+    // policy with the supervisor armed.
+    if opts.names.iter().any(|n| n == "e10") {
+        run_e10(&harness, &opts);
     }
     // Opt-in only (`repro bench`): wall-clock kernel microbenchmarks and
     // per-experiment timings. Everything goes to stderr / `--json`; exits

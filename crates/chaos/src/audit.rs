@@ -24,6 +24,14 @@
 //!    at the main site is missing from the drained backup.
 //! 6. **Snapshot crash consistency** — every snapshot group taken during a
 //!    fault window recovers into consistent databases.
+//!
+//! Supervised trials (`ChaosConfig::supervisor`) add:
+//!
+//! 7. **Convergence** — after the last heal plus the grace window, every
+//!    group that still owns pairs must be back to PAIR (`Active`), or
+//!    explicitly parked by the supervisor's circuit breaker (which also
+//!    raised a telemetry alarm). Anything else — still suspended, still
+//!    promoted — is a recovery the supervisor failed to finish.
 
 use std::collections::BTreeMap;
 
@@ -49,6 +57,38 @@ pub struct Violation {
     /// one record per line with span ids (`#N`). Empty when the trial ran
     /// without tracing.
     pub trace: Vec<String>,
+}
+
+/// Summary of the armed supervisor's recovery work for one trial.
+/// Present only on trials that ran with the supervisor armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorSummary {
+    /// Groups still owning pairs at quiesce.
+    pub groups_total: u64,
+    /// Of those, groups that converged back to PAIR (`Active`).
+    pub groups_pair: u64,
+    /// Of those, groups parked by the circuit breaker.
+    pub groups_parked: u64,
+    /// Probe passes executed.
+    pub probes: u64,
+    /// Resync attempts issued.
+    pub attempts: u64,
+    /// Attempts that ran as delta resyncs.
+    pub delta_resyncs: u64,
+    /// Attempts degraded to full initial copies (journal debt over
+    /// threshold).
+    pub full_resyncs: u64,
+    /// Parked pumps restarted by probes.
+    pub pump_kicks: u64,
+    /// Recovery episodes closed healthy.
+    pub heals: u64,
+    /// Automatic failovers performed.
+    pub failovers: u64,
+    /// Automatic failbacks completed.
+    pub failbacks: u64,
+    /// Slowest suspension-to-healthy episode, in microseconds of
+    /// sim-time.
+    pub tth_max_us: u64,
 }
 
 /// Summary of the client-visible history judgement for one trial.
@@ -81,6 +121,8 @@ pub struct ChaosReport {
     pub committed_orders: u64,
     /// Client-visible history judgement (history trials only).
     pub history: Option<HistorySummary>,
+    /// Supervisor recovery summary (supervised trials only).
+    pub supervisor: Option<SupervisorSummary>,
     /// Every violation observed, in audit order.
     pub violations: Vec<Violation>,
 }
@@ -113,6 +155,25 @@ impl ChaosReport {
                 h.records, h.ops_checked, h.anomalies
             ));
         }
+        // Likewise the supervisor line only appears on supervised trials.
+        if let Some(s) = &self.supervisor {
+            out.push_str(&format!(
+                "  supervisor pair={}/{} parked={} probes={} attempts={} delta={} full={} \
+                 kicks={} heals={} failovers={} failbacks={} tth_max_us={}\n",
+                s.groups_pair,
+                s.groups_total,
+                s.groups_parked,
+                s.probes,
+                s.attempts,
+                s.delta_resyncs,
+                s.full_resyncs,
+                s.pump_kicks,
+                s.heals,
+                s.failovers,
+                s.failbacks,
+                s.tth_max_us,
+            ));
+        }
         for v in &self.violations {
             out.push_str(&format!("  {:>12} {:<22} {}\n", v.at.to_string(), v.invariant, v.detail));
             // Trace lines only appear on traced trials, so untraced
@@ -140,6 +201,8 @@ pub struct Auditor {
     pub violations: Vec<Violation>,
     /// Client-visible history judgement, once the judge has run.
     history: Option<HistorySummary>,
+    /// Demand convergence at quiesce (check 7, supervised trials).
+    expect_convergence: bool,
 }
 
 impl Auditor {
@@ -158,12 +221,19 @@ impl Auditor {
             audits: 0,
             violations: Vec::new(),
             history: None,
+            expect_convergence: false,
         }
     }
 
     /// Attach the client-visible history judgement to the final report.
     pub(crate) fn set_history(&mut self, summary: HistorySummary) {
         self.history = Some(summary);
+    }
+
+    /// Demand convergence at quiesce: every group still owning pairs must
+    /// end `Active` or circuit-breaker parked (check 7).
+    pub fn expect_convergence(&mut self) {
+        self.expect_convergence = true;
     }
 
     /// Record a snapshot group taken mid-fault (audited at quiesce).
@@ -199,13 +269,23 @@ impl Auditor {
             self.violate(now, "content-mismatch", m.clone());
         }
 
-        // 2. No parked pump with work, an up link and an Active group.
+        // 2. No parked pump with work, an up link, live arrays and an
+        // Active group. A failed member array exempts the group: the pump
+        // is *supposed* to park then (kicking it would churn), and the
+        // array heal resyncs and restarts it.
         for &gid in &groups {
             let g = st.fabric.group(gid);
             if g.state != GroupState::Active || g.pump_scheduled {
                 continue;
             }
             if !st.net.link(g.link).is_up(now) {
+                continue;
+            }
+            let any_array_failed = g.pairs.iter().any(|&pid| {
+                let p = st.fabric.pair(pid);
+                st.array(p.primary.array).is_failed() || st.array(p.secondary.array).is_failed()
+            });
+            if any_array_failed {
                 continue;
             }
             let has_backlog = g
@@ -300,6 +380,61 @@ impl Auditor {
             self.audit_snapshot_group(rig, *taken_at, snaps);
         }
 
+        // 7. Convergence (supervised trials): every group still owning
+        // pairs is back to PAIR, or explicitly circuit-breaker parked.
+        // Fold the supervisor's recovery work into the report.
+        let supervisor = st.supervisor().map(|sv| {
+            let stats = sv.stats();
+            let mut summary = SupervisorSummary {
+                groups_total: 0,
+                groups_pair: 0,
+                groups_parked: 0,
+                probes: stats.probes,
+                attempts: stats.attempts,
+                delta_resyncs: stats.delta_resyncs,
+                full_resyncs: stats.full_resyncs,
+                pump_kicks: stats.pump_kicks,
+                heals: stats.heals,
+                failovers: stats.failovers,
+                failbacks: stats.failbacks,
+                tth_max_us: stats.time_to_heal_max.as_micros(),
+            };
+            for &gid in &groups {
+                let g = st.fabric.group(gid);
+                if g.pairs.is_empty() {
+                    // A failed-over group hands its pairs to the reverse
+                    // group; the husk has nothing left to converge.
+                    continue;
+                }
+                summary.groups_total += 1;
+                if g.state == GroupState::Active {
+                    summary.groups_pair += 1;
+                } else if sv.is_parked(gid) {
+                    summary.groups_parked += 1;
+                }
+            }
+            summary
+        });
+        if self.expect_convergence {
+            let sv = st.supervisor().expect("convergence demands a supervisor");
+            for &gid in &groups {
+                let g = st.fabric.group(gid);
+                if g.pairs.is_empty() || g.state == GroupState::Active || sv.is_parked(gid) {
+                    continue;
+                }
+                self.violate(
+                    now,
+                    "unconverged-group",
+                    format!(
+                        "group g{} ended {:?} (supervisor stage {:?})",
+                        gid.0,
+                        g.state,
+                        sv.stage(gid)
+                    ),
+                );
+            }
+        }
+
         ChaosReport {
             mode: rig.config.mode.label().to_string(),
             seed,
@@ -308,6 +443,7 @@ impl Auditor {
             audits: self.audits,
             committed_orders: rig.committed_orders(),
             history: self.history,
+            supervisor,
             violations: self.violations,
         }
     }

@@ -24,7 +24,7 @@ use tsuru_ecom::DbInstance;
 use tsuru_minidb::MiniDb;
 use tsuru_simnet::{LinkConfig, LinkId};
 use tsuru_storage::engine::{heal_link, kick_all_pumps};
-use tsuru_storage::{span_names, JournalId, SpanId, VolumeView};
+use tsuru_storage::{span_names, GroupId, SpanId, VolumeView};
 
 use crate::audit::Auditor;
 use crate::plan::{FaultEvent, FaultKind};
@@ -37,7 +37,16 @@ const SQUEEZE_FLOOR_BYTES: u64 = 64 * 1024;
 pub(crate) struct Injector {
     data_link: LinkId,
     orig_link: LinkConfig,
-    orig_journal_caps: Vec<(JournalId, u64)>,
+    /// Original primary-journal capacity per *group* — not per journal id:
+    /// a resync (operator or supervisor) replaces a group's journals, so a
+    /// squeeze heal must resolve the group's *current* primary journal or
+    /// it would restore an orphaned journal and leave the live one
+    /// squeezed forever.
+    orig_journal_caps: Vec<(GroupId, u64)>,
+    /// With a supervisor armed on the rig, heals only repair the physical
+    /// fault (array recovery, app restart); the logical recovery —
+    /// suspend, resync, pump kicks — is the supervisor's job.
+    supervised: bool,
     /// Open fault spans by kind (the generator schedules at most one event
     /// per kind). While open, the tracer stamps every record with the
     /// fault's span id, causally linking faults to write lifecycles.
@@ -45,19 +54,23 @@ pub(crate) struct Injector {
 }
 
 impl Injector {
-    pub(crate) fn new(rig: &TwoSiteRig) -> Self {
+    pub(crate) fn new(rig: &TwoSiteRig, supervised: bool) -> Self {
         let data_link = rig.world.st.fabric.group(rig.groups[0]).link;
         let orig_link = rig.world.st.net.link(data_link).config().clone();
         let orig_journal_caps = rig
             .groups
             .iter()
-            .filter_map(|&g| rig.world.st.fabric.group(g).primary_jnl)
-            .map(|j| (j, rig.world.st.fabric.journal(j).capacity_bytes()))
+            .filter_map(|&g| {
+                rig.world.st.fabric.group(g).primary_jnl.map(|j| {
+                    (g, rig.world.st.fabric.journal(j).capacity_bytes())
+                })
+            })
             .collect();
         Injector {
             data_link,
             orig_link,
             orig_journal_caps,
+            supervised,
             fault_spans: BTreeMap::new(),
         }
     }
@@ -108,10 +121,12 @@ impl Injector {
                 rig.world.st.fail_array(main, now);
             }
             FaultKind::JournalSqueeze => {
-                for &(jid, _) in &self.orig_journal_caps {
-                    let j = rig.world.st.fabric.journal_mut(jid);
-                    let cap = j.used_bytes().max(SQUEEZE_FLOOR_BYTES);
-                    j.set_capacity_bytes(cap);
+                for &(gid, _) in &self.orig_journal_caps {
+                    if let Some(jid) = rig.world.st.fabric.group(gid).primary_jnl {
+                        let j = rig.world.st.fabric.journal_mut(jid);
+                        let cap = j.used_bytes().max(SQUEEZE_FLOOR_BYTES);
+                        j.set_capacity_bytes(cap);
+                    }
                 }
             }
             FaultKind::OperatorRestart => {
@@ -167,21 +182,41 @@ impl Injector {
             FaultKind::BackupArrayCrash => {
                 let backup = rig.backup;
                 rig.world.st.array_mut(backup).recover();
-                self.resync_all(rig);
+                // Supervised: by now the supervisor has suspended the
+                // group (dead secondary), so recovery is its job — the
+                // next probe sees an unblocked suspension and resyncs.
+                if !self.supervised {
+                    self.resync_all(rig);
+                }
             }
             FaultKind::MainArrayCrash => {
                 let main = rig.main;
                 rig.world.st.array_mut(main).recover();
                 self.restart_app(rig, auditor);
-                self.resync_all(rig);
+                if self.supervised {
+                    // Array firmware restarts its own pumps on recovery
+                    // (same semantic as `heal_link`); journal entries from
+                    // before the crash are still intact and simply resume
+                    // draining — no resync needed for a dead *sender*.
+                    kick_all_pumps(&mut rig.world, &mut rig.sim);
+                } else {
+                    self.resync_all(rig);
+                }
             }
             FaultKind::JournalSqueeze => {
-                for &(jid, cap) in &self.orig_journal_caps {
-                    rig.world.st.fabric.journal_mut(jid).set_capacity_bytes(cap);
+                for &(gid, cap) in &self.orig_journal_caps {
+                    if let Some(jid) = rig.world.st.fabric.group(gid).primary_jnl {
+                        rig.world.st.fabric.journal_mut(jid).set_capacity_bytes(cap);
+                    }
                 }
             }
             FaultKind::OperatorRestart => {
-                self.resync_all(rig);
+                // Supervised: an operator suspension is exactly what the
+                // supervisor exists to heal; it may even have resynced
+                // before this heal edge.
+                if !self.supervised {
+                    self.resync_all(rig);
+                }
             }
             FaultKind::SnapshotDuringFault => {}
         }

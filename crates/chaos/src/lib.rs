@@ -29,12 +29,16 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod converge;
 mod inject;
 mod judge;
 mod plan;
 mod run;
 
-pub use audit::{Auditor, ChaosReport, HistorySummary, Violation};
+pub use audit::{Auditor, ChaosReport, HistorySummary, SupervisorSummary, Violation};
+pub use converge::{
+    convergence_sweep, recovery_policies, render_convergence_table, ConvergeRow, ConvergeTrial,
+};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use run::{
     chaos_sweep, history_sweep, render_chaos_table, render_history_table, run_chaos_trial,

@@ -156,6 +156,42 @@ impl FaultPlan {
         plan
     }
 
+    /// Generate a seeded plan containing exactly the core fault quartet —
+    /// link partition, jitter spike, backup-array crash, journal squeeze —
+    /// with windows spanning [`Self::OVERLAP_AT`], and no extras. The
+    /// fixed kind set makes convergence sweeps comparable across policies
+    /// (same fault pressure, only the recovery strategy varies) while the
+    /// seeded windows still vary per trial.
+    pub fn core_quartet(seed: u64, horizon: SimTime) -> FaultPlan {
+        assert!(
+            horizon >= SimTime::from_millis(120),
+            "horizon too short for the core overlap window"
+        );
+        let mut rng = DetRng::new(seed).derive(PLAN_STREAM);
+        let mut events = Vec::new();
+        let core = [
+            FaultKind::LinkPartition,
+            FaultKind::JitterSpike,
+            FaultKind::BackupArrayCrash,
+            FaultKind::JournalSqueeze,
+        ];
+        let overlap_us = Self::OVERLAP_AT.as_nanos() / 1_000;
+        for kind in core {
+            // Same window law as `random`: start 30–60 ms, end at least
+            // 5–20 ms past the overlap point.
+            let at_us = 30_000 + rng.gen_range(30_000);
+            let end_us = overlap_us + 5_000 + rng.gen_range(15_000);
+            events.push(FaultEvent {
+                kind,
+                at: SimTime::from_micros(at_us),
+                duration: SimDuration::from_micros(end_us - at_us),
+            });
+        }
+        let mut plan = FaultPlan { horizon, events };
+        plan.normalize();
+        plan
+    }
+
     /// Sort events into canonical `(at, kind, duration)` order.
     pub fn normalize(&mut self) {
         self.events.sort_by_key(|e| (e.at, e.kind, e.duration));

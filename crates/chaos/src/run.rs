@@ -6,6 +6,7 @@ use tsuru_ecom::driver::start_workload_clients;
 use tsuru_ecom::{AppendState, BankState, WorkloadKind};
 use tsuru_history::Site;
 use tsuru_sim::{DetRng, SimDuration, SimTime};
+use tsuru_storage::SupervisorPolicy;
 
 use crate::audit::{Auditor, ChaosReport, HistorySummary};
 use crate::inject::Injector;
@@ -38,6 +39,19 @@ pub struct ChaosConfig {
     /// cadence so scans land inside fault windows, where the naive
     /// configuration's torn images are actually observable.
     pub scan_every: SimDuration,
+    /// Arm the replication supervisor on the trial rig. Off by default
+    /// so the standard sweep stays byte-identical to unsupervised runs.
+    /// When on, injector heals repair only the physical fault and the
+    /// supervisor owns logical recovery; the auditor additionally
+    /// demands convergence (every paired group back to PAIR, or parked
+    /// by the circuit breaker) at quiesce.
+    pub supervisor: bool,
+    /// Recovery policy for the armed supervisor (ignored unless
+    /// `supervisor` is set).
+    pub supervisor_policy: SupervisorPolicy,
+    /// Extra sim-time past the horizon during which supervisor probes
+    /// stay armed, bounding time-to-convergence after the last heal.
+    pub converge_grace: SimDuration,
 }
 
 impl Default for ChaosConfig {
@@ -50,6 +64,9 @@ impl Default for ChaosConfig {
             workload: WorkloadKind::Ecom,
             history: false,
             scan_every: SimDuration::from_millis(5),
+            supervisor: false,
+            supervisor_policy: SupervisorPolicy::default(),
+            converge_grace: SimDuration::from_millis(100),
         }
     }
 }
@@ -136,10 +153,19 @@ fn run_trial_inner(
             rig.world.app_mut().append = Some(AppendState::new(DetRng::new(seed).derive(0xA99E)));
         }
     }
+    if cfg.supervisor {
+        rig.enable_supervisor(
+            cfg.supervisor_policy.clone(),
+            plan.horizon + cfg.converge_grace,
+        );
+    }
     let tracer = rig.world.st.tracer.clone();
     let history = rig.world.st.history.clone();
     let mut auditor = Auditor::new(&rig);
-    let mut injector = Injector::new(&rig);
+    if cfg.supervisor {
+        auditor.expect_convergence();
+    }
+    let mut injector = Injector::new(&rig, cfg.supervisor);
 
     // Timeline: fault starts, heals, audit samples and judge scans,
     // totally ordered by (time, start-before-heal-before-sample-before-

@@ -178,6 +178,12 @@ pub enum ReplicationState {
     Replicating,
     /// Suspended or failed over.
     Suspended,
+    /// Suspended, with the replication supervisor actively driving a
+    /// recovery attempt (backoff or resync in flight).
+    Recovering,
+    /// Parked by the supervisor's circuit breaker after repeated failed
+    /// recovery attempts; operator intervention required.
+    Parked,
 }
 
 /// A ReplicationGroup custom resource: requests a consistency group on the

@@ -49,6 +49,14 @@ pub enum ControlOp {
         /// Re-arms left after this sample.
         remaining: u32,
     },
+    /// One supervisor probe pass, re-armed at the armed policy's
+    /// `probe_interval` while `remaining > 0` (see
+    /// [`tsuru_storage::supervisor::tick`]). A no-op when no supervisor
+    /// is armed on the world.
+    SupervisorTick {
+        /// Re-arms left after this probe.
+        remaining: u32,
+    },
 }
 
 impl ControlOp {
@@ -81,6 +89,23 @@ impl ControlOp {
                             remaining: remaining - 1,
                         }),
                     );
+                }
+            }
+            ControlOp::SupervisorTick { remaining } => {
+                tsuru_storage::supervisor::tick(w, sim);
+                let interval = w
+                    .st
+                    .supervisor()
+                    .map(|sv| sv.policy().probe_interval);
+                if let Some(interval) = interval {
+                    if remaining > 0 {
+                        sim.schedule_event_in(
+                            interval,
+                            DemoEvent::Control(ControlOp::SupervisorTick {
+                                remaining: remaining - 1,
+                            }),
+                        );
+                    }
                 }
             }
         }

@@ -332,6 +332,28 @@ impl TwoSiteRig {
         self.sim.run(&mut self.world);
     }
 
+    /// Arm the self-healing supervisor on the world and schedule its
+    /// periodic probe from now until (at least) `until`. The tick budget
+    /// is computed up front so the probe chain terminates deterministically
+    /// shortly after the horizon instead of keeping the sim alive forever.
+    pub fn enable_supervisor(
+        &mut self,
+        policy: tsuru_storage::SupervisorPolicy,
+        until: SimTime,
+    ) {
+        let interval = policy.probe_interval;
+        assert!(!interval.is_zero(), "probe interval must be positive");
+        self.world.st.enable_supervisor(policy);
+        let span = until.saturating_since(self.sim.now());
+        let ticks = (span.as_nanos() / interval.as_nanos()).max(1) as u32;
+        self.sim.schedule_event_in(
+            interval,
+            DemoEvent::Control(ControlOp::SupervisorTick {
+                remaining: ticks - 1,
+            }),
+        );
+    }
+
     /// Schedule a main-site disaster at `at`.
     pub fn schedule_main_failure(&mut self, at: SimTime) {
         let array = self.main;

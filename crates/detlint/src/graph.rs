@@ -178,14 +178,20 @@ impl CallGraph {
     /// The shortest call chain from an entry point to `node`, as
     /// qualified names (`entry -> … -> node`), given a `reach` result.
     pub fn chain(&self, reach: &BTreeMap<usize, (usize, usize)>, node: usize) -> String {
-        let mut parts = vec![self.fns[node].qualified()];
+        let name = |i: usize| -> String {
+            self.fns
+                .get(i)
+                .expect("invariant: reach nodes index self.fns")
+                .qualified()
+        };
+        let mut parts = vec![name(node)];
         let mut cur = node;
         let mut guard = 0usize;
         while let Some(&(_, pred)) = reach.get(&cur) {
             if pred == cur || guard > 64 {
                 break;
             }
-            parts.push(self.fns[pred].qualified());
+            parts.push(name(pred));
             cur = pred;
             guard += 1;
         }

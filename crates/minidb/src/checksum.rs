@@ -30,7 +30,11 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
     let t = table();
     for &b in data {
-        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+        let entry = t
+            .get(((state ^ b as u32) & 0xFF) as usize)
+            .copied()
+            .expect("invariant: index is masked to 0..=255");
+        state = entry ^ (state >> 8);
     }
     state
 }

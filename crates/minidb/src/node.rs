@@ -117,38 +117,38 @@ impl Node {
         );
         assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be page-sized");
         buf.fill(0);
-        buf[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
+        put(buf, 0, &NODE_MAGIC.to_le_bytes());
         let (kind, count) = match self {
             Node::Leaf { entries } => (KIND_LEAF, entries.len() as u16),
             Node::Internal { keys, .. } => (KIND_INTERNAL, keys.len() as u16),
         };
-        buf[4] = kind;
-        buf[6..8].copy_from_slice(&count.to_le_bytes());
-        buf[8..16].copy_from_slice(&page_id.to_le_bytes());
-        buf[16..24].copy_from_slice(&lsn.to_le_bytes());
+        put(buf, 4, &[kind]);
+        put(buf, 6, &count.to_le_bytes());
+        put(buf, 8, &page_id.to_le_bytes());
+        put(buf, 16, &lsn.to_le_bytes());
         let mut pos = NODE_HEADER;
         match self {
             Node::Leaf { entries } => {
                 for (k, v) in entries {
-                    buf[pos..pos + 8].copy_from_slice(&k.to_le_bytes());
-                    buf[pos + 8..pos + 12].copy_from_slice(&(v.len() as u32).to_le_bytes());
-                    buf[pos + 12..pos + 12 + v.len()].copy_from_slice(v);
+                    put(buf, pos, &k.to_le_bytes());
+                    put(buf, pos + 8, &(v.len() as u32).to_le_bytes());
+                    put(buf, pos + 12, v);
                     pos += 12 + v.len();
                 }
             }
             Node::Internal { keys, children } => {
                 for k in keys {
-                    buf[pos..pos + 8].copy_from_slice(&k.to_le_bytes());
+                    put(buf, pos, &k.to_le_bytes());
                     pos += 8;
                 }
                 for c in children {
-                    buf[pos..pos + 8].copy_from_slice(&c.to_le_bytes());
+                    put(buf, pos, &c.to_le_bytes());
                     pos += 8;
                 }
             }
         }
         let crc = crc32(buf);
-        buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+        put(buf, CRC_OFFSET, &crc.to_le_bytes());
     }
 
     /// Deserialize a page image, verifying checksum and identity.
@@ -221,6 +221,14 @@ impl Node {
         };
         Ok((node, lsn))
     }
+}
+
+/// Copy `src` into the page at `at`. The caller has already asserted the
+/// serialized node fits the page, so an out-of-range span is a tree-logic bug.
+fn put(buf: &mut [u8], at: usize, src: &[u8]) {
+    buf.get_mut(at..at + src.len())
+        .expect("invariant: serialized node fits the page (asserted by caller)")
+        .copy_from_slice(src);
 }
 
 #[cfg(test)]

@@ -38,23 +38,28 @@ impl Superblock {
     /// [`MAX_FREE_LIST`] are dropped (leaked space, never corruption).
     pub fn serialize(&self) -> Vec<u8> {
         let mut buf = vec![0u8; PAGE_SIZE];
-        buf[0..4].copy_from_slice(&SB_MAGIC.to_le_bytes());
-        buf[4..8].copy_from_slice(&SB_VERSION.to_le_bytes());
-        buf[8..12].copy_from_slice(&self.epoch.to_le_bytes());
+        let put = |buf: &mut Vec<u8>, at: usize, src: &[u8]| {
+            buf.get_mut(at..at + src.len())
+                .expect("invariant: superblock layout fits one page")
+                .copy_from_slice(src);
+        };
+        put(&mut buf, 0, &SB_MAGIC.to_le_bytes());
+        put(&mut buf, 4, &SB_VERSION.to_le_bytes());
+        put(&mut buf, 8, &self.epoch.to_le_bytes());
         let n = self.free_list.len().min(MAX_FREE_LIST) as u32;
-        buf[12..16].copy_from_slice(&n.to_le_bytes());
-        buf[16..24].copy_from_slice(&self.root.to_le_bytes());
-        buf[24..32].copy_from_slice(&self.next_page.to_le_bytes());
-        buf[32..40].copy_from_slice(&self.ckpt_lsn.to_le_bytes());
-        buf[40..48].copy_from_slice(&self.next_txid.to_le_bytes());
-        buf[48..56].copy_from_slice(&self.wal_blocks.to_le_bytes());
+        put(&mut buf, 12, &n.to_le_bytes());
+        put(&mut buf, 16, &self.root.to_le_bytes());
+        put(&mut buf, 24, &self.next_page.to_le_bytes());
+        put(&mut buf, 32, &self.ckpt_lsn.to_le_bytes());
+        put(&mut buf, 40, &self.next_txid.to_le_bytes());
+        put(&mut buf, 48, &self.wal_blocks.to_le_bytes());
         let mut pos = FREE_LIST_OFFSET;
         for &p in self.free_list.iter().take(MAX_FREE_LIST) {
-            buf[pos..pos + 8].copy_from_slice(&p.to_le_bytes());
+            put(&mut buf, pos, &p.to_le_bytes());
             pos += 8;
         }
         let crc = crc32(&buf);
-        buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+        put(&mut buf, CRC_OFFSET, &crc.to_le_bytes());
         buf
     }
 

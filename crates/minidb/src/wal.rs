@@ -68,10 +68,7 @@ impl WalRecord {
     fn decode_payload(buf: &[u8]) -> Option<WalRecord> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
-            if *pos + n > buf.len() {
-                return None;
-            }
-            let s = &buf[*pos..*pos + n];
+            let s = buf.get(*pos..pos.checked_add(n)?)?;
             *pos += n;
             Some(s)
         };
@@ -81,7 +78,7 @@ impl WalRecord {
         let mut ops = Vec::with_capacity(nops);
         for _ in 0..nops {
             let key = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
-            let flag = take(&mut pos, 1)?[0];
+            let flag = take(&mut pos, 1)?.first().copied()?;
             let value = match flag {
                 1 => {
                     let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
@@ -119,10 +116,15 @@ pub fn encode_record_into(epoch: u32, rec: &WalRecord, out: &mut Vec<u8>) {
     out.extend_from_slice(&[0u8; 4]); // CRC, backpatched below
     rec.encode_payload_into(out);
     debug_assert_eq!(out.len() - start, total);
-    let mut st = crc32_update(0xFFFF_FFFF, &out[start..start + 8]);
-    st = crc32_update(st, &out[start + HEADER_BYTES..]);
+    let span = |r: std::ops::Range<usize>| {
+        out.get(r).expect("invariant: record bytes were just written")
+    };
+    let mut st = crc32_update(0xFFFF_FFFF, span(start..start + 8));
+    st = crc32_update(st, span(start + HEADER_BYTES..out.len()));
     let crc = st ^ 0xFFFF_FFFF;
-    out[start + 8..start + HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+    out.get_mut(start + 8..start + HEADER_BYTES)
+        .expect("invariant: record bytes were just written")
+        .copy_from_slice(&crc.to_le_bytes());
 }
 
 /// The in-memory WAL tail: an image of the WAL volume for the current
@@ -189,7 +191,10 @@ impl WalWriter {
         self.scratch.clear();
         encode_record_into(self.epoch, rec, &mut self.scratch);
         let start = self.offset;
-        self.image[start..start + self.scratch.len()].copy_from_slice(&self.scratch);
+        self.image
+            .get_mut(start..start + self.scratch.len())
+            .expect("invariant: fits() was asserted above")
+            .copy_from_slice(&self.scratch);
         self.offset += self.scratch.len();
 
         let first_block = start / BLOCK_SIZE;
@@ -199,7 +204,9 @@ impl WalWriter {
                 vol: DbVol::Wal,
                 lba: b as u64,
                 data: tsuru_storage::block_from(
-                    &self.image[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE],
+                    self.image
+                        .get(b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE)
+                        .expect("invariant: tail blocks lie within the image"),
                 ),
             })
             .collect()
@@ -226,25 +233,42 @@ pub fn scan_wal(dev: &dyn BlockDevice, wal_blocks: u64, epoch: u32) -> Vec<WalRe
     let mut image = vec![0u8; capacity];
     for b in 0..wal_blocks {
         if let Some(data) = dev.read_block(b) {
-            image[b as usize * BLOCK_SIZE..(b as usize + 1) * BLOCK_SIZE]
+            let at = b as usize * BLOCK_SIZE;
+            image
+                .get_mut(at..at + BLOCK_SIZE)
+                .expect("invariant: image is sized to wal_blocks blocks")
                 .copy_from_slice(&data);
         }
     }
+    let read_u32 = |at: usize| -> u32 {
+        u32::from_le_bytes(
+            image
+                .get(at..at + 4)
+                .expect("invariant: header bounds checked against capacity")
+                .try_into()
+                .expect("invariant: a 4-byte slice"),
+        )
+    };
     let mut out = Vec::new();
     let mut pos = 0usize;
     loop {
         if pos + HEADER_BYTES > capacity {
             break;
         }
-        let rec_epoch = u32::from_le_bytes(image[pos..pos + 4].try_into().expect("sized"));
-        let len = u32::from_le_bytes(image[pos + 4..pos + 8].try_into().expect("sized")) as usize;
-        let crc = u32::from_le_bytes(image[pos + 8..pos + 12].try_into().expect("sized"));
+        let rec_epoch = read_u32(pos);
+        let len = read_u32(pos + 4) as usize;
+        let crc = read_u32(pos + 8);
         if rec_epoch != epoch || len == 0 || pos + HEADER_BYTES + len > capacity {
             break;
         }
-        let payload = &image[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
+        let payload = image
+            .get(pos + HEADER_BYTES..pos + HEADER_BYTES + len)
+            .expect("invariant: record bounds checked against capacity");
         // Stream the CRC over the two covered spans — no scratch buffer.
-        let st = crc32_update(crc32_update(0xFFFF_FFFF, &image[pos..pos + 8]), payload);
+        let header = image
+            .get(pos..pos + 8)
+            .expect("invariant: header bounds checked against capacity");
+        let st = crc32_update(crc32_update(0xFFFF_FFFF, header), payload);
         if st ^ 0xFFFF_FFFF != crc {
             break;
         }

@@ -14,7 +14,31 @@ use tsuru_container::{
     ReplicationMode, ReplicationState, VolumeHandle,
 };
 use tsuru_simnet::LinkId;
-use tsuru_storage::{ArrayId, GroupId, PairId, StorageWorld, VolRef, VolumeId};
+use tsuru_storage::{
+    ArrayId, GroupId, GroupState, PairId, RecoveryStage, StorageWorld, VolRef, VolumeId,
+};
+
+/// Observed replication health of one array pair, folding the owning
+/// group's lifecycle state with the supervisor's recovery stage (when a
+/// supervisor is armed on the world).
+fn pair_health(st: &StorageWorld, pid: PairId) -> ReplicationState {
+    let gid = st.fabric.pair(pid).group;
+    if let Some(sv) = st.supervisor() {
+        if sv.is_parked(gid) {
+            return ReplicationState::Parked;
+        }
+        if matches!(
+            sv.stage(gid),
+            RecoveryStage::BackingOff { .. } | RecoveryStage::Recovering { .. }
+        ) {
+            return ReplicationState::Recovering;
+        }
+    }
+    match st.fabric.group(gid).state {
+        GroupState::Active => ReplicationState::Replicating,
+        GroupState::Suspended { .. } | GroupState::Promoted => ReplicationState::Suspended,
+    }
+}
 
 /// Static wiring of the replication plugin.
 #[derive(Debug, Clone)]
@@ -271,6 +295,29 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
         self.groups_by_cr
             .retain(|key, _| api.replication_groups.contains(key));
 
+        // --- reflect array + supervisor health into VR status -------------
+        // Each VolumeReplication mirrors its pair's group health: a
+        // suspension the supervisor is actively healing reads `Recovering`,
+        // a circuit-breaker park reads `Parked` (operator action needed).
+        let live_pairs: std::collections::BTreeSet<PairId> =
+            st.fabric.pair_ids().into_iter().collect();
+        let vr_states: BTreeMap<String, ReplicationState> = self
+            .pairs_by_cr
+            .iter()
+            .filter(|(_, pid)| live_pairs.contains(pid))
+            .map(|(key, &pid)| (key.clone(), pair_health(st, pid)))
+            .collect();
+        for (vr_key, state) in &vr_states {
+            api.replications.update(vr_key, |vr| {
+                if vr.state != *state {
+                    vr.state = *state;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+
         // --- roll up ReplicationGroup status ------------------------------
         let rgs: Vec<String> = api
             .replication_groups
@@ -278,20 +325,31 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
             .map(|rg| rg.meta.key())
             .collect();
         for rg_key in rgs {
-            let (members_total, members_paired): (usize, usize) = {
+            // Worst member health wins the rollup: Parked > Recovering >
+            // Suspended > Replicating (which additionally requires every
+            // member paired) > Unknown.
+            let (members_total, members_paired, worst): (usize, usize, Option<ReplicationState>) = {
                 let Some(rg) = api.replication_groups.get(&rg_key) else {
                     continue;
                 };
                 let ns = rg.meta.namespace.clone().unwrap_or_default();
-                let paired = rg
+                let member_states: Vec<ReplicationState> = rg
                     .member_pvcs
                     .iter()
-                    .filter(|pvc| {
+                    .filter_map(|pvc| {
                         let vr_key = format!("{ns}/{pvc}-repl");
-                        self.pairs_by_cr.contains_key(&vr_key)
+                        vr_states.get(&vr_key).copied()
                     })
-                    .count();
-                (rg.member_pvcs.len(), paired)
+                    .collect();
+                let rank = |s: ReplicationState| match s {
+                    ReplicationState::Parked => 4,
+                    ReplicationState::Recovering => 3,
+                    ReplicationState::Suspended => 2,
+                    ReplicationState::Replicating => 1,
+                    ReplicationState::Unknown => 0,
+                };
+                let worst = member_states.iter().copied().max_by_key(|&s| rank(s));
+                (rg.member_pvcs.len(), member_states.len(), worst)
             };
             let handles: Vec<u32> = self
                 .groups_for(&rg_key)
@@ -299,10 +357,15 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
                 .map(|g| g.0)
                 .collect();
             api.replication_groups.update(&rg_key, |rg| {
-                let new_state = if members_total > 0 && members_paired == members_total {
-                    ReplicationState::Replicating
-                } else {
-                    ReplicationState::Unknown
+                let new_state = match worst {
+                    Some(ReplicationState::Replicating) | None => {
+                        if members_total > 0 && members_paired == members_total {
+                            ReplicationState::Replicating
+                        } else {
+                            ReplicationState::Unknown
+                        }
+                    }
+                    Some(s) => s,
                 };
                 if rg.state != new_state || rg.group_handles != handles {
                     rg.state = new_state;

@@ -57,13 +57,15 @@ impl DetRng {
     /// Children with different stream ids (or from different parents) are
     /// statistically independent; the parent state is not consumed.
     pub fn derive(&self, stream: u64) -> DetRng {
-        let mut sm = self.s[0] ^ self.s[2] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let s0 = self.s.first().copied().expect("invariant: state is 4 words");
+        let s2 = self.s.get(2).copied().expect("invariant: state is 4 words");
+        let mut sm = s0 ^ s2 ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = splitmix64(&mut sm);
         }
         if s == [0, 0, 0, 0] {
-            s[0] = 1;
+            s = [1, 0, 0, 0];
         }
         DetRng { s }
     }

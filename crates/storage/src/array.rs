@@ -226,10 +226,9 @@ impl StorageArray {
     /// Mutably borrow a volume (control-plane use; data-plane writes must go
     /// through [`StorageArray::write_block`] for COW bookkeeping).
     pub fn volume_mut(&mut self, id: VolumeId) -> &mut Volume {
-        let name = &self.name;
         self.volumes
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("unknown volume v{} on {name}", id.0))
+            .expect("invariant: VolumeId is only minted by create_volume")
     }
 
     /// Does the volume exist?

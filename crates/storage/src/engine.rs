@@ -289,6 +289,7 @@ pub(crate) fn persist<S, E>(
                 }
                 if stall {
                     st.metrics.inc(names::JOURNAL_STALL_RETRIES);
+                    st.metrics.inc(names::JOURNAL_OVERFLOW);
                     st.tracer.instant(spans::JOURNAL_STALL, now, span, || {
                         vec![("ticket", ticket.into())]
                     });
@@ -350,6 +351,7 @@ pub(crate) fn persist<S, E>(
                                 } else {
                                     // Suspend policy (Block was handled in
                                     // pass 1).
+                                    st.metrics.inc(names::JOURNAL_OVERFLOW);
                                     st.fabric
                                         .group_mut(gid)
                                         .suspend(now, SuspendReason::JournalFull);

@@ -227,15 +227,16 @@ impl ReplicationFabric {
     pub(crate) fn add_pair(&mut self, pair: Pair) -> PairId {
         let id = PairId(self.pairs.len() as u32);
         debug_assert_eq!(pair.id, id);
-        let legs = self.by_primary.entry(pair.primary).or_default();
-        assert!(
-            legs.iter().all(|&p| self.pairs[p.0 as usize].secondary != pair.secondary),
-            "volume {} already replicates to {}",
-            pair.primary,
-            pair.secondary
-        );
-        legs.push(id);
-        self.groups[pair.group.0 as usize].pairs.push(id);
+        if let Some(legs) = self.by_primary.get(&pair.primary) {
+            assert!(
+                legs.iter().all(|&p| self.pair(p).secondary != pair.secondary),
+                "volume {} already replicates to {}",
+                pair.primary,
+                pair.secondary
+            );
+        }
+        self.by_primary.entry(pair.primary).or_default().push(id);
+        self.group_mut(pair.group).pairs.push(id);
         self.pairs.push(pair);
         id
     }
@@ -247,15 +248,17 @@ impl ReplicationFabric {
     /// Remove a pair from replication (operator teardown). The pair record
     /// is retained for statistics but no longer matches host writes.
     pub fn detach_pair(&mut self, id: PairId) {
-        let primary = self.pairs[id.0 as usize].primary;
+        let (primary, gid) = {
+            let p = self.pair(id);
+            (p.primary, p.group)
+        };
         if let Some(legs) = self.by_primary.get_mut(&primary) {
             legs.retain(|&p| p != id);
             if legs.is_empty() {
                 self.by_primary.remove(&primary);
             }
         }
-        let gid = self.pairs[id.0 as usize].group;
-        self.groups[gid.0 as usize].pairs.retain(|&p| p != id);
+        self.group_mut(gid).pairs.retain(|&p| p != id);
     }
 
     // ----- lookups ----------------------------------------------------------

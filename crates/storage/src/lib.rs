@@ -32,6 +32,7 @@ mod journal;
 mod pool;
 mod snapshot;
 mod status;
+pub mod supervisor;
 mod volume;
 mod world;
 
@@ -55,6 +56,7 @@ pub use journal::{Journal, JournalEntry};
 pub use pool::{Pool, PoolId};
 pub use status::{group_status, render_pool_status, render_replication_status, GroupStatus};
 pub use snapshot::Snapshot;
+pub use supervisor::{RecoveryStage, Supervisor, SupervisorPolicy, SupervisorStats};
 pub use volume::{Volume, VolumeRole};
 pub use world::{ConsistencyReport, HasStorage, RpoReport, StorageWorld};
 

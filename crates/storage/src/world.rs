@@ -20,6 +20,7 @@ use crate::fabric::{
     Group, GroupMode, GroupState, Pair, ReplicationFabric, SuspendReason,
 };
 use crate::journal::JournalEntry;
+use crate::supervisor::{Supervisor, SupervisorPolicy};
 use crate::volume::VolumeRole;
 
 /// Access to the storage world from an arbitrary simulation state type.
@@ -110,6 +111,10 @@ pub struct StorageWorld {
     /// volume's turn, so a stalled write can never be overtaken by a later
     /// one (tail-block rewrites would otherwise go back in time).
     write_order: BTreeMap<VolRef, (u64, u64)>,
+    /// Self-healing replication supervisor; absent unless armed via
+    /// [`StorageWorld::enable_supervisor`] (experiments that hand-drive
+    /// recovery keep it off).
+    supervisor: Option<Supervisor>,
     rng: DetRng,
     control_time: SimTime,
 }
@@ -127,9 +132,41 @@ impl StorageWorld {
             tracer: Tracer::disabled(),
             history: Recorder::disabled(),
             write_order: BTreeMap::new(),
+            supervisor: None,
             rng: DetRng::new(seed),
             control_time: SimTime::ZERO,
         }
+    }
+
+    /// Arm the self-healing replication supervisor with the given policy.
+    /// The supervisor's backoff-jitter stream derives from the world seed
+    /// (stream `0x5AFE`), so recovery schedules are deterministic per
+    /// trial. The caller still has to drive [`crate::supervisor::tick`]
+    /// from a timer event (see `tsuru-core`'s `SupervisorTick`).
+    pub fn enable_supervisor(&mut self, policy: SupervisorPolicy) {
+        let rng = self.rng.derive(0x5AFE);
+        self.supervisor = Some(Supervisor::new(policy, rng));
+    }
+
+    /// The armed supervisor, if any.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Mutable access to the armed supervisor, if any.
+    pub fn supervisor_mut(&mut self) -> Option<&mut Supervisor> {
+        self.supervisor.as_mut()
+    }
+
+    /// Detach the supervisor for one probe pass (borrow split: the tick
+    /// walks groups mutably while consulting supervisor state).
+    pub(crate) fn take_supervisor(&mut self) -> Option<Supervisor> {
+        self.supervisor.take()
+    }
+
+    /// Re-attach the supervisor after a probe pass.
+    pub(crate) fn put_supervisor(&mut self, sv: Supervisor) {
+        self.supervisor = Some(sv);
     }
 
     /// Install a tracing handle on the world, its network and every link,
@@ -349,10 +386,19 @@ impl StorageWorld {
     /// journals are replaced and the group's generation is bumped so that
     /// in-flight frames and pump events from the old epoch are discarded.
     pub fn resync_group(&mut self, id: GroupId) -> ResyncReport {
+        self.resync_group_with(id, false)
+    }
+
+    /// [`StorageWorld::resync_group`] with an explicit degradation switch:
+    /// `force_full` demands a full initial copy even where a delta resync
+    /// would be legal. The supervisor uses this once the accumulated
+    /// journal debt plus dirty-bitmap working set makes a delta
+    /// uneconomical (graceful degradation instead of an oversized delta).
+    pub fn resync_group_with(&mut self, id: GroupId, force_full: bool) -> ResyncReport {
         let suspended = matches!(self.fabric.group(id).state, GroupState::Suspended { .. });
         let pair_ids = self.fabric.group(id).pairs.clone();
         let mut blocks_copied = 0u64;
-        let delta = suspended;
+        let delta = suspended && !force_full;
         for pid in pair_ids {
             let (primary, secondary) = {
                 let p = self.fabric.pair(pid);
@@ -524,6 +570,47 @@ impl StorageWorld {
             self.add_pair(new_group, old_secondary, old_primary);
         }
         new_group
+    }
+
+    /// Failback step 2 — return home: once the reverse group has fully
+    /// caught up (active, both journals drained, every pair applied what
+    /// it acked), promote it — making the original volumes writable
+    /// primaries again — and immediately re-protect the business in the
+    /// original direction with a fresh forward group (full initial copy).
+    /// Returns the new forward group's id.
+    pub fn complete_failback(
+        &mut self,
+        reverse: GroupId,
+        journal_capacity_bytes: u64,
+    ) -> GroupId {
+        {
+            let g = self.fabric.group(reverse);
+            assert!(
+                g.is_active(),
+                "failback requires an active, caught-up reverse group"
+            );
+            for jid in g.primary_jnl.into_iter().chain(g.secondary_jnl) {
+                assert!(
+                    self.fabric.journal(jid).is_empty(),
+                    "reverse journals must be drained before failback"
+                );
+            }
+            for &pid in &g.pairs {
+                let p = self.fabric.pair(pid);
+                assert_eq!(
+                    p.acked_writes, p.applied_writes,
+                    "reverse group must be caught up before failback"
+                );
+            }
+        }
+        self.promote_group(reverse);
+        // The reverse group shipped backup→main over the original ack
+        // link; the re-established forward group flips direction again.
+        let (link, rev) = {
+            let g = self.fabric.group(reverse);
+            (g.reverse, g.link)
+        };
+        self.establish_reverse_group(reverse, link, rev, journal_capacity_bytes)
     }
 
     // ----- snapshots -----------------------------------------------------------

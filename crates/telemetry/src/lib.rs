@@ -63,6 +63,10 @@ pub mod spans {
     pub const LINK_DOWN: &str = "link_down";
     /// Span: one controller reconcile pass.
     pub const RECONCILE: &str = "reconcile";
+    /// Span: one supervisor recovery attempt window (suspension → healthy).
+    pub const RECOVERY: &str = "recovery";
+    /// Instant: the supervisor circuit breaker parked a group.
+    pub const SUPERVISOR_ALARM: &str = "supervisor_alarm";
 }
 
 /// Stable metric names used by the instrumented stack.
@@ -81,4 +85,11 @@ pub mod names {
     /// Time series: acked-but-unapplied writes across all pairs (the RPO
     /// lag), sampled at transfer and apply edges.
     pub const RPO_LAG: &str = "rpo.lag_writes";
+    /// Journal appends refused (or stalled) because the journal was full.
+    pub const JOURNAL_OVERFLOW: &str = "journal.overflow_hits";
+    /// Supervisor resync attempts (delta and full).
+    pub const SUPERVISOR_ATTEMPTS: &str = "supervisor.attempts";
+    /// Time series: supervisor time-to-heal per recovered group, in
+    /// nanoseconds of sim-time.
+    pub const SUPERVISOR_TIME_TO_HEAL: &str = "supervisor.time_to_heal_ns";
 }
