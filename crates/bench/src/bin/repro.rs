@@ -10,6 +10,7 @@
 //! cargo run -p tsuru-bench --release --bin repro trace      # traced chaos trials
 //! cargo run -p tsuru-bench --release --bin repro history    # history sweep (E9)
 //! cargo run -p tsuru-bench --release --bin repro e10        # convergence sweep (E10)
+//! cargo run -p tsuru-bench --release --bin repro e11        # alert sweep (E11)
 //! ```
 //!
 //! `--threads N` sets the trial-harness worker count for the multi-trial
@@ -45,8 +46,9 @@ use tsuru_core::experiments::{
     e4_snapshot, e5_operator, e6_demo, e7_three_dc,
 };
 use tsuru_chaos::{
-    chaos_sweep, convergence_sweep, history_sweep, render_chaos_table, render_convergence_table,
-    render_history_table, run_chaos_trial_traced, ChaosConfig, FaultPlan,
+    alert_sweep, chaos_sweep, convergence_sweep, history_sweep, render_alert_table,
+    render_chaos_table, render_convergence_table, render_history_table, run_chaos_trial_traced,
+    ChaosConfig, FaultPlan,
 };
 use tsuru_core::{BackupMode, HarnessStats, RigConfig, TrialHarness, TwoSiteRig};
 use tsuru_sim::SimDuration;
@@ -67,6 +69,9 @@ struct Options {
     /// `--history DIR` / `--history=DIR`: write op-history JSONL exports
     /// under `DIR` (used by the `history` subcommand).
     history_dir: Option<PathBuf>,
+    /// `--alerts DIR` / `--alerts=DIR`: write incident-log JSONL exports
+    /// under `DIR` (used by the `e11` subcommand).
+    alerts_dir: Option<PathBuf>,
     /// `--json PATH` (bench): write the machine-readable `BENCH.json` here.
     json: Option<PathBuf>,
     /// `--baseline PATH` (bench): compare against a checked-in baseline and
@@ -85,6 +90,7 @@ impl Options {
             threads: 0,
             trace_dir: None,
             history_dir: None,
+            alerts_dir: None,
             json: None,
             baseline: None,
         };
@@ -119,6 +125,13 @@ impl Options {
                 }
             } else if let Some(v) = a.strip_prefix("--history=") {
                 opts.history_dir = Some(PathBuf::from(v));
+            } else if a == "--alerts" {
+                if let Some(dir) = args.get(i + 1) {
+                    opts.alerts_dir = Some(PathBuf::from(dir));
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--alerts=") {
+                opts.alerts_dir = Some(PathBuf::from(v));
             } else if a == "--json" {
                 if let Some(p) = args.get(i + 1) {
                     opts.json = Some(PathBuf::from(p));
@@ -384,6 +397,58 @@ fn run_e10(harness: &TrialHarness, opts: &Options) {
     );
 }
 
+/// The `e11` subcommand: the SLO-alerting sweep. Every seeded
+/// core-quartet plan replays against the consistency-group rig with the
+/// supervisor armed (default policy) and the alert engine armed under
+/// each rule profile; incidents are scored against the injected plan
+/// (the ground truth) for precision, recall and detection latency.
+/// `--alerts DIR` additionally writes each trial's incident log as
+/// JSONL.
+fn run_e11(harness: &TrialHarness, opts: &Options) {
+    println!("== E11 (extension): SLO alerting vs injected ground truth — plans x profiles ==");
+    println!("   core-quartet plans; declarative rules (threshold, sustained, rate, absence)");
+    println!("   evaluated on the SloTick grid; incidents carry the faults they observed\n");
+    let cfg = ChaosConfig::default();
+    let set = alert_sweep(harness, 0xC0FFEE, 3, &cfg);
+    report("e11", &set.stats);
+    let table = render_alert_table(&set.rows);
+    println!("{table}");
+    maybe_csv(opts, "e11", &table);
+    println!("-- alert-armed auditor reports (default profile) --");
+    for trial in &set.rows {
+        if let Some(row) = trial.rows.iter().find(|r| r.profile == "default") {
+            print!("{}", row.report.render());
+        }
+    }
+    println!(
+        "\nexpect: the default profile detects every injected kind (recall=4/4) in every\n\
+         trial with zero auditor violations; tight detects earliest (and may open\n\
+         extra incidents), lenient trades latency for quiet. Byte-identical at any\n\
+         --threads value.\n"
+    );
+    if let Some(dir) = &opts.alerts_dir {
+        let _ = fs::create_dir_all(dir);
+        for (i, trial) in set.rows.iter().enumerate() {
+            for row in &trial.rows {
+                let path = dir.join(format!("incidents_t{i}_{}.jsonl", row.profile));
+                match fs::write(&path, &row.export) {
+                    Ok(()) => println!(
+                        "  trial {i} {}: {} incidents -> {}",
+                        row.profile,
+                        row.export.lines().count(),
+                        path.display()
+                    ),
+                    Err(_) => eprintln!(
+                        "  trial {i}: failed to write export under {}",
+                        dir.display()
+                    ),
+                }
+            }
+        }
+        println!();
+    }
+}
+
 /// The `trace` subcommand: replay seeded chaos plans with the causal
 /// tracer on and export each trial's trace (JSONL + Chrome
 /// `trace_event`). Exports are byte-identical at any `--threads` value.
@@ -500,6 +565,11 @@ fn main() {
     // policy with the supervisor armed.
     if opts.names.iter().any(|n| n == "e10") {
         run_e10(&harness, &opts);
+    }
+    // Opt-in only (`repro e11`): every plan replays once per rule profile
+    // with the supervisor and the alert engine armed.
+    if opts.names.iter().any(|n| n == "e11") {
+        run_e11(&harness, &opts);
     }
     // Opt-in only (`repro bench`): wall-clock kernel microbenchmarks and
     // per-experiment timings. Everything goes to stderr / `--json`; exits

@@ -41,6 +41,8 @@ use tsuru_minidb::MiniDb;
 use tsuru_sim::SimTime;
 use tsuru_storage::{GroupId, GroupState, SnapshotId, SnapshotView, Tracer};
 
+use crate::alert::AlertSummary;
+
 /// How many trailing trace records the auditor attaches to a violation.
 const TRACE_WINDOW: usize = 8;
 
@@ -123,6 +125,9 @@ pub struct ChaosReport {
     pub history: Option<HistorySummary>,
     /// Supervisor recovery summary (supervised trials only).
     pub supervisor: Option<SupervisorSummary>,
+    /// SLO incidents scored against the injected ground truth (alert
+    /// trials only).
+    pub alerts: Option<AlertSummary>,
     /// Every violation observed, in audit order.
     pub violations: Vec<Violation>,
 }
@@ -174,6 +179,30 @@ impl ChaosReport {
                 s.tth_max_us,
             ));
         }
+        // And the alerts block only appears on alert trials.
+        if let Some(a) = &self.alerts {
+            out.push_str(&format!(
+                "  alerts profile={} evals={} incidents={} open={} tp={} fp={} recall={}/{}\n",
+                a.profile,
+                a.evals,
+                a.incidents,
+                a.open_at_quiesce,
+                a.true_positives,
+                a.false_positives,
+                a.kinds_detected(),
+                a.kinds.len(),
+            ));
+            for k in &a.kinds {
+                if k.detected {
+                    out.push_str(&format!(
+                        "    fault {:<18} detected latency_us={}\n",
+                        k.kind, k.latency_us
+                    ));
+                } else {
+                    out.push_str(&format!("    fault {:<18} missed\n", k.kind));
+                }
+            }
+        }
         for v in &self.violations {
             out.push_str(&format!("  {:>12} {:<22} {}\n", v.at.to_string(), v.invariant, v.detail));
             // Trace lines only appear on traced trials, so untraced
@@ -201,6 +230,9 @@ pub struct Auditor {
     pub violations: Vec<Violation>,
     /// Client-visible history judgement, once the judge has run.
     history: Option<HistorySummary>,
+    /// Incidents scored against the injected plan, once the alert
+    /// harvest has run.
+    alerts: Option<AlertSummary>,
     /// Demand convergence at quiesce (check 7, supervised trials).
     expect_convergence: bool,
 }
@@ -221,6 +253,7 @@ impl Auditor {
             audits: 0,
             violations: Vec::new(),
             history: None,
+            alerts: None,
             expect_convergence: false,
         }
     }
@@ -228,6 +261,11 @@ impl Auditor {
     /// Attach the client-visible history judgement to the final report.
     pub(crate) fn set_history(&mut self, summary: HistorySummary) {
         self.history = Some(summary);
+    }
+
+    /// Attach the ground-truth-scored alert verdict to the final report.
+    pub(crate) fn set_alerts(&mut self, summary: AlertSummary) {
+        self.alerts = Some(summary);
     }
 
     /// Demand convergence at quiesce: every group still owning pairs must
@@ -444,6 +482,7 @@ impl Auditor {
             committed_orders: rig.committed_orders(),
             history: self.history,
             supervisor,
+            alerts: self.alerts.take(),
             violations: self.violations,
         }
     }

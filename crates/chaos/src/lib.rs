@@ -28,20 +28,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alert;
 mod audit;
 mod converge;
+mod e11;
 mod inject;
 mod judge;
 mod plan;
 mod run;
 
+pub use alert::{match_incidents, AlertSummary, KindDetection};
 pub use audit::{Auditor, ChaosReport, HistorySummary, SupervisorSummary, Violation};
 pub use converge::{
     convergence_sweep, recovery_policies, render_convergence_table, ConvergeRow, ConvergeTrial,
 };
+pub use e11::{alert_sweep, render_alert_table, AlertRow, AlertTrial};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use run::{
     chaos_sweep, history_sweep, render_chaos_table, render_history_table, run_chaos_trial,
-    run_chaos_trial_history, run_chaos_trial_traced, shrink_plan, ChaosConfig, ChaosPair,
-    HistoryRow, HistoryTrial, TraceExport,
+    run_chaos_trial_alerts, run_chaos_trial_history, run_chaos_trial_traced, shrink_plan,
+    ChaosConfig, ChaosPair, HistoryRow, HistoryTrial, TraceExport,
 };

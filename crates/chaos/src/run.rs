@@ -6,8 +6,9 @@ use tsuru_ecom::driver::start_workload_clients;
 use tsuru_ecom::{AppendState, BankState, WorkloadKind};
 use tsuru_history::Site;
 use tsuru_sim::{DetRng, SimDuration, SimTime};
-use tsuru_storage::SupervisorPolicy;
+use tsuru_storage::{AlertProfile, IncidentLog, SupervisorPolicy};
 
+use crate::alert::match_incidents;
 use crate::audit::{Auditor, ChaosReport, HistorySummary};
 use crate::inject::Injector;
 use crate::judge;
@@ -52,6 +53,12 @@ pub struct ChaosConfig {
     /// Extra sim-time past the horizon during which supervisor probes
     /// stay armed, bounding time-to-convergence after the last heal.
     pub converge_grace: SimDuration,
+    /// Arm the SLO alert engine on the trial rig with this rule profile.
+    /// Off by default for the same byte-identity reason as `trace` (and
+    /// arming implies tracing, so incidents can carry the fault windows
+    /// the ground-truth matcher scores them against). The engine stays
+    /// armed through the convergence grace window, like the supervisor.
+    pub alerts: Option<AlertProfile>,
 }
 
 impl Default for ChaosConfig {
@@ -67,6 +74,7 @@ impl Default for ChaosConfig {
             supervisor: false,
             supervisor_policy: SupervisorPolicy::default(),
             converge_grace: SimDuration::from_millis(100),
+            alerts: None,
         }
     }
 }
@@ -104,7 +112,7 @@ pub fn run_chaos_trial_traced(
 ) -> (ChaosReport, TraceExport) {
     let mut cfg = cfg.clone();
     cfg.trace = true;
-    let (report, tracer, _) = run_trial_inner(seed, mode, plan, &cfg);
+    let (report, tracer, _, _) = run_trial_inner(seed, mode, plan, &cfg);
     let export = TraceExport {
         jsonl: tracer.export_jsonl(),
         chrome: tracer.export_chrome(),
@@ -124,8 +132,28 @@ pub fn run_chaos_trial_history(
 ) -> (ChaosReport, String) {
     let mut cfg = cfg.clone();
     cfg.history = true;
-    let (report, _, history) = run_trial_inner(seed, mode, plan, &cfg);
+    let (report, _, history, _) = run_trial_inner(seed, mode, plan, &cfg);
     let jsonl = history.export_jsonl();
+    (report, jsonl)
+}
+
+/// [`run_chaos_trial`] with the SLO alert engine armed under `profile`
+/// (tracing is implied so incidents observe fault windows): returns the
+/// report (carrying the ground-truth-scored
+/// [`AlertSummary`](crate::AlertSummary)) plus the incident log as
+/// JSONL. Output is byte-identical for identical inputs at any harness
+/// thread count.
+pub fn run_chaos_trial_alerts(
+    seed: u64,
+    mode: BackupMode,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+    profile: AlertProfile,
+) -> (ChaosReport, String) {
+    let mut cfg = cfg.clone();
+    cfg.alerts = Some(profile);
+    let (report, _, _, log) = run_trial_inner(seed, mode, plan, &cfg);
+    let jsonl = log.expect("alert trial carries an incident log").export_jsonl();
     (report, jsonl)
 }
 
@@ -134,14 +162,21 @@ fn run_trial_inner(
     mode: BackupMode,
     plan: &FaultPlan,
     cfg: &ChaosConfig,
-) -> (ChaosReport, tsuru_storage::Tracer, tsuru_history::Recorder) {
+) -> (
+    ChaosReport,
+    tsuru_storage::Tracer,
+    tsuru_history::Recorder,
+    Option<IncidentLog>,
+) {
     let mut rig_cfg = RigConfig {
         seed,
         mode,
         ..RigConfig::default()
     };
     rig_cfg.workload.think_time_mean = cfg.think_time;
-    rig_cfg.trace = cfg.trace;
+    // Alert trials imply tracing: incidents carry the open fault windows
+    // the ground-truth matcher scores them against.
+    rig_cfg.trace = cfg.trace || cfg.alerts.is_some();
     rig_cfg.history = cfg.history;
     let mut rig = TwoSiteRig::new(rig_cfg);
     match cfg.workload {
@@ -158,6 +193,9 @@ fn run_trial_inner(
             cfg.supervisor_policy.clone(),
             plan.horizon + cfg.converge_grace,
         );
+    }
+    if let Some(profile) = &cfg.alerts {
+        rig.enable_alerts(profile.clone(), plan.horizon + cfg.converge_grace);
     }
     let tracer = rig.world.st.tracer.clone();
     let history = rig.world.st.history.clone();
@@ -246,11 +284,23 @@ fn run_trial_inner(
         });
     }
 
+    // Harvest the alert engine: score its incident log against the plan
+    // (the injected faults are the ground truth) and fold the verdict
+    // into the report.
+    let incident_log = rig.world.st.take_alerts().map(|engine| {
+        let profile = engine.profile().name;
+        let evals = engine.evals();
+        let log = engine.into_log();
+        auditor.set_alerts(match_incidents(plan, &log, profile, evals));
+        log
+    });
+
     let kinds = plan.kinds().iter().map(|s| s.to_string()).collect();
     (
         auditor.finish(&rig, seed, kinds, plan.events.len()),
         tracer,
         history,
+        incident_log,
     )
 }
 

@@ -57,6 +57,14 @@ pub enum ControlOp {
         /// Re-arms left after this probe.
         remaining: u32,
     },
+    /// One SLO evaluation pass (health sampling + alert rules), re-armed
+    /// at the armed profile's `eval_interval` while `remaining > 0` (see
+    /// [`tsuru_storage::StorageWorld::slo_tick`]). A no-op when no alert
+    /// engine is armed on the world.
+    SloTick {
+        /// Re-arms left after this evaluation.
+        remaining: u32,
+    },
 }
 
 impl ControlOp {
@@ -102,6 +110,21 @@ impl ControlOp {
                         sim.schedule_event_in(
                             interval,
                             DemoEvent::Control(ControlOp::SupervisorTick {
+                                remaining: remaining - 1,
+                            }),
+                        );
+                    }
+                }
+            }
+            ControlOp::SloTick { remaining } => {
+                let now = sim.now();
+                w.st.slo_tick(now);
+                let interval = w.st.alerts().map(|a| a.profile().eval_interval);
+                if let Some(interval) = interval {
+                    if remaining > 0 {
+                        sim.schedule_event_in(
+                            interval,
+                            DemoEvent::Control(ControlOp::SloTick {
                                 remaining: remaining - 1,
                             }),
                         );

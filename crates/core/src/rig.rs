@@ -354,6 +354,25 @@ impl TwoSiteRig {
         );
     }
 
+    /// Arm the SLO/alerting engine on the world and schedule its periodic
+    /// evaluation from now until (at least) `until`. The tick budget is
+    /// computed up front, like [`TwoSiteRig::enable_supervisor`], so the
+    /// evaluation chain terminates deterministically shortly after the
+    /// horizon.
+    pub fn enable_alerts(&mut self, profile: tsuru_storage::AlertProfile, until: SimTime) {
+        let interval = profile.eval_interval;
+        assert!(!interval.is_zero(), "eval interval must be positive");
+        self.world.st.enable_alerts(profile, self.sim.now());
+        let span = until.saturating_since(self.sim.now());
+        let ticks = (span.as_nanos() / interval.as_nanos()).max(1) as u32;
+        self.sim.schedule_event_in(
+            interval,
+            DemoEvent::Control(ControlOp::SloTick {
+                remaining: ticks - 1,
+            }),
+        );
+    }
+
     /// Schedule a main-site disaster at `at`.
     pub fn schedule_main_failure(&mut self, at: SimTime) {
         let array = self.main;

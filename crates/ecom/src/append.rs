@@ -93,7 +93,7 @@ where
             .ecom_mut()
             .append
             .as_mut()
-            .expect("append workload installed");
+            .expect("invariant: append events are only scheduled once AppendState is installed");
         let is_read = ap.ops_started % ap.read_every == ap.read_every - 1;
         ap.ops_started += 1;
         let key = ap.rng.gen_range(LIST_KEYS);
@@ -172,7 +172,7 @@ where
         let e = s.ecom_mut();
         e.append
             .as_mut()
-            .expect("append workload installed")
+            .expect("invariant: append events are only scheduled once AppendState is installed")
             .committed += 1;
         let think = e.gen.think_time();
         sim.schedule_event_in(think, E::ecom(EcomOp::AppendThink { client }));

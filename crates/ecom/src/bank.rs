@@ -82,7 +82,11 @@ where
     let accounts = state.ecom().gen.config.items as u64;
 
     let (is_read, from, to, want) = {
-        let bank = state.ecom_mut().bank.as_mut().expect("bank workload installed");
+        let bank = state
+            .ecom_mut()
+            .bank
+            .as_mut()
+            .expect("invariant: bank events are only scheduled once BankState is installed");
         let is_read = bank.ops_started % bank.read_every == bank.read_every - 1;
         bank.ops_started += 1;
         let from = bank.rng.gen_range(accounts);
@@ -127,7 +131,8 @@ where
     let op = hist.invoke(client, now, OpData::Transfer { from, to, amount });
     let mut txn = TxnOps::default();
     if hist.is_enabled() {
-        for key in [from, to] {
+        let endpoints = [from, to];
+        for key in endpoints {
             txn.reads.push(KeyVer {
                 space: space::ACCOUNTS,
                 key,
@@ -161,7 +166,8 @@ where
         e.stock.db.commit(tx)
     };
     if hist.is_enabled() {
-        for key in [from, to] {
+        let endpoints = [from, to];
+        for key in endpoints {
             txn.writes.push(KeyVer {
                 space: space::ACCOUNTS,
                 key,
@@ -177,7 +183,10 @@ where
         }
         hist.ok(client, op, sim.now(), OpData::Txn(txn));
         let e = s.ecom_mut();
-        e.bank.as_mut().expect("bank workload installed").committed += 1;
+        e.bank
+            .as_mut()
+            .expect("invariant: bank events are only scheduled once BankState is installed")
+            .committed += 1;
         let think = e.gen.think_time();
         sim.schedule_event_in(think, E::ecom(EcomOp::BankThink { client }));
     });

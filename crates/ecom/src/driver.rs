@@ -94,7 +94,7 @@ fn drive_phases<S, E, F>(
                 let (rest, done) = cont
                     .borrow_mut()
                     .take()
-                    .expect("continuation fired exactly once");
+                    .expect("invariant: the continuation is taken only when the last ack arrives");
                 if all_ok.get() {
                     drive_phases(s, sim, which, rest, done);
                 } else {
@@ -192,7 +192,7 @@ where
             .db
             .get(tx, STOCK_TABLE, spec.item)
             .and_then(|b| StockRow::decode(&b))
-            .unwrap_or_else(|| panic!("item {} not seeded", spec.item));
+            .expect("invariant: order specs draw items from the seeded catalog");
         let updated = StockRow {
             quantity: row.quantity.saturating_sub(spec.quantity as u64),
         };

@@ -218,7 +218,7 @@ impl MiniDb {
     fn tx_mut(&mut self, tx: TxId) -> &mut ActiveTx {
         self.active
             .get_mut(&tx.0)
-            .unwrap_or_else(|| panic!("transaction {} is not active", tx.0))
+            .expect("invariant: a TxId is minted by begin() and retired only at commit/abort")
     }
 
     /// Buffer a put in the transaction's write-set.
@@ -284,7 +284,7 @@ impl MiniDb {
         let t = self
             .active
             .remove(&tx.0)
-            .unwrap_or_else(|| panic!("transaction {} is not active", tx.0));
+            .expect("invariant: a TxId is minted by begin() and retired only at commit/abort");
         self.stats.commits += 1;
         if t.ops.is_empty() {
             return IoPlan::empty();

@@ -18,6 +18,13 @@ use tsuru_storage::{
     ArrayId, GroupId, GroupState, PairId, RecoveryStage, StorageWorld, VolRef, VolumeId,
 };
 
+/// Annotation key the replication plugin maintains on namespaces whose
+/// groups it manages: the comma-joined names of the SLO alert rules
+/// currently firing on the storage world (removed while none fire). The
+/// container-platform mirror of an open incident — operators watching
+/// the namespace see the breach without reading array telemetry.
+pub const SLO_ALERT_ANNOTATION: &str = "tsuru.io/slo-alert";
+
 /// Observed replication health of one array pair, folding the owning
 /// group's lifecycle state with the supervisor's recovery stage (when a
 /// supervisor is armed on the world).
@@ -375,6 +382,49 @@ impl Reconciler<StorageWorld> for ReplicationPlugin {
                     false
                 }
             });
+        }
+
+        // --- surface firing SLO alerts as namespace conditions ------------
+        // Only runs when an alert engine is armed on the world; the
+        // annotation appears while rules fire and is removed once every
+        // incident resolves, so untraced experiments see zero churn.
+        let Some(engine) = st.alerts() else { return };
+        let firing = engine.firing_rules().join(",");
+        let namespaces: std::collections::BTreeSet<String> = api
+            .replication_groups
+            .list()
+            .filter_map(|rg| rg.meta.namespace.clone())
+            .collect();
+        for ns in namespaces {
+            let prev = api
+                .namespaces
+                .get(&ns)
+                .and_then(|n| n.meta.annotations.get(SLO_ALERT_ANNOTATION).cloned());
+            if firing.is_empty() {
+                if prev.is_some() {
+                    api.namespaces.update(&ns, |n| {
+                        n.meta.annotations.remove(SLO_ALERT_ANNOTATION);
+                        true
+                    });
+                    api.record_event(
+                        format!("Namespace/{ns}"),
+                        "SloRecovered",
+                        "all alert rules stopped firing",
+                    );
+                }
+            } else if prev.as_deref() != Some(firing.as_str()) {
+                api.namespaces.update(&ns, |n| {
+                    n.meta
+                        .annotations
+                        .insert(SLO_ALERT_ANNOTATION.to_string(), firing.clone());
+                    true
+                });
+                api.record_event(
+                    format!("Namespace/{ns}"),
+                    "SloBreach",
+                    format!("alert rules firing: {firing}"),
+                );
+            }
         }
     }
 }

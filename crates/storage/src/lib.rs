@@ -64,4 +64,7 @@ pub use world::{ConsistencyReport, HasStorage, RpoReport, StorageWorld};
 // downstream crates read metrics/spans without naming tsuru-telemetry.
 pub use tsuru_telemetry::names as metric_names;
 pub use tsuru_telemetry::spans as span_names;
-pub use tsuru_telemetry::{MetricsRegistry, RecordKind, SpanId, TraceRecord, Tracer};
+pub use tsuru_telemetry::{
+    AlertEngine, AlertProfile, FaultRef, Incident, IncidentLog, MetricsRegistry, RecordKind,
+    SpanId, TraceRecord, Tracer,
+};

@@ -150,6 +150,21 @@ pub enum RecoveryStage {
     },
 }
 
+impl RecoveryStage {
+    /// Short stable label for summaries and incident bundles.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryStage::Healthy => "healthy",
+            RecoveryStage::PrimaryDown { .. } => "primary-down",
+            RecoveryStage::BackingOff { .. } => "backing-off",
+            RecoveryStage::Recovering { .. } => "recovering",
+            RecoveryStage::FailedOver { .. } => "failed-over",
+            RecoveryStage::FailingBack { .. } => "failing-back",
+            RecoveryStage::Parked { .. } => "parked",
+        }
+    }
+}
+
 /// Monotonic counters describing everything the supervisor did. These are
 /// plain state (not registry metrics) so reports can read them even in
 /// untraced trials where time-series sampling is off.
@@ -259,14 +274,16 @@ impl Supervisor {
     }
 
     /// Enter backoff before `attempt`, or park if the attempt budget is
-    /// exhausted. Returns the alarm payload when parking (the caller owns
-    /// the tracer).
+    /// exhausted. The sampled backoff wait lands in the
+    /// `supervisor.backoff_wait_ns` histogram of `metrics`. Returns the
+    /// alarm payload when parking (the caller owns the tracer).
     fn begin_backoff(
         &mut self,
         gid: GroupId,
         attempt: u32,
         since: SimTime,
         now: SimTime,
+        metrics: &mut tsuru_telemetry::MetricsRegistry,
     ) -> bool {
         if attempt > self.policy.max_attempts {
             self.set_stage(gid, RecoveryStage::Parked { attempts: attempt - 1 });
@@ -274,6 +291,7 @@ impl Supervisor {
             return true;
         }
         let delay = self.backoff_delay(attempt);
+        metrics.record(names::SUPERVISOR_BACKOFF_WAIT, delay.as_nanos());
         self.set_stage(
             gid,
             RecoveryStage::BackingOff {
@@ -571,14 +589,15 @@ where
             }
             RecoveryStage::Recovering { attempt, since, .. } => {
                 // Re-suspended mid-recovery: the attempt failed.
-                if sv.begin_backoff(gid, attempt + 1, since, now) {
+                if sv.begin_backoff(gid, attempt + 1, since, now, &mut state.storage_mut().metrics)
+                {
                     raise_park_alarm(state, gid, attempt, now);
                 }
             }
             _ => {
                 // Fresh suspension: enter the ladder at attempt 1,
                 // anchored at the suspension instant.
-                if sv.begin_backoff(gid, 1, since, now) {
+                if sv.begin_backoff(gid, 1, since, now, &mut state.storage_mut().metrics) {
                     raise_park_alarm(state, gid, 0, now);
                 }
             }
@@ -595,6 +614,8 @@ where
                         now,
                         healed_in.as_nanos() as f64,
                     );
+                    st.metrics
+                        .record(names::SUPERVISOR_RECOVERY_STAGE, healed_in.as_nanos());
                     st.tracer
                         .span_complete(spans::RECOVERY, since, now, SpanId::NONE, || {
                             vec![
@@ -635,7 +656,7 @@ where
                         .group_mut(gid)
                         .suspend(now, SuspendReason::Operator);
                     sv.stats.suspends_issued += 1;
-                    if sv.begin_backoff(gid, 1, now, now) {
+                    if sv.begin_backoff(gid, 1, now, now, &mut state.storage_mut().metrics) {
                         raise_park_alarm(state, gid, 0, now);
                     }
                 } else if primary_failed {

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use tsuru_history::Recorder;
 use tsuru_sim::{DetRng, SimDuration, SimTime};
 use tsuru_simnet::{LinkConfig, LinkId, Network, TransferOutcome};
-use tsuru_telemetry::{names, spans, MetricsRegistry, SpanId, Tracer};
+use tsuru_telemetry::{names, spans, AlertEngine, AlertProfile, MetricsRegistry, SpanId, Tracer};
 
 use crate::acklog::{AckLog, PrefixReport};
 use crate::array::{ArrayPerf, StorageArray, WriteError};
@@ -115,6 +115,9 @@ pub struct StorageWorld {
     /// [`StorageWorld::enable_supervisor`] (experiments that hand-drive
     /// recovery keep it off).
     supervisor: Option<Supervisor>,
+    /// SLO/alerting engine; absent unless armed via
+    /// [`StorageWorld::enable_alerts`] — a true no-op when off.
+    alerts: Option<AlertEngine>,
     rng: DetRng,
     control_time: SimTime,
 }
@@ -133,6 +136,7 @@ impl StorageWorld {
             history: Recorder::disabled(),
             write_order: BTreeMap::new(),
             supervisor: None,
+            alerts: None,
             rng: DetRng::new(seed),
             control_time: SimTime::ZERO,
         }
@@ -167,6 +171,94 @@ impl StorageWorld {
     /// Re-attach the supervisor after a probe pass.
     pub(crate) fn put_supervisor(&mut self, sv: Supervisor) {
         self.supervisor = Some(sv);
+    }
+
+    /// Arm the SLO/alerting engine with the given rule profile, with
+    /// `now` as the arming instant (the absence-rule reference before a
+    /// series' first sample). Turns on time-series sampling so the
+    /// rules' signals exist. The caller still has to drive
+    /// [`StorageWorld::slo_tick`] from a timer event (see `tsuru-core`'s
+    /// `SloTick`).
+    pub fn enable_alerts(&mut self, profile: AlertProfile, now: SimTime) {
+        self.metrics.enable_sampling();
+        self.alerts = Some(AlertEngine::new(profile, now));
+    }
+
+    /// The armed alert engine, if any.
+    pub fn alerts(&self) -> Option<&AlertEngine> {
+        self.alerts.as_ref()
+    }
+
+    /// Detach the alert engine (e.g. to harvest its incident log after a
+    /// run).
+    pub fn take_alerts(&mut self) -> Option<AlertEngine> {
+        self.alerts.take()
+    }
+
+    /// One SLO evaluation pass at `now`: sample the health series, then
+    /// evaluate every rule of the armed profile. No-op without an armed
+    /// engine.
+    pub fn slo_tick(&mut self, now: SimTime) {
+        let Some(mut engine) = self.alerts.take() else {
+            return;
+        };
+        self.sample_health_series(now);
+        let supervisor = self.supervisor_stage_summary();
+        engine.evaluate(now, &self.metrics, &self.tracer, &supervisor);
+        self.alerts = Some(engine);
+    }
+
+    /// One-line supervisor stage summary ("off" when unarmed, "idle"
+    /// when no groups exist) — captured into incidents at open time.
+    pub fn supervisor_stage_summary(&self) -> String {
+        let Some(sv) = &self.supervisor else {
+            return "off".to_string();
+        };
+        let parts: Vec<String> = self
+            .fabric
+            .group_ids()
+            .into_iter()
+            .map(|gid| format!("g{}={}", gid.0, sv.stage(gid).label()))
+            .collect();
+        if parts.is_empty() {
+            "idle".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+
+    /// Sample the SLO health series (observed cluster state, not rule
+    /// state): RPO lag, journal occupancy, down links, failed arrays,
+    /// degraded groups. Runs only on SLO ticks, so the series exist only
+    /// while the alert engine is armed.
+    fn sample_health_series(&mut self, now: SimTime) {
+        let mut occupancy = 0u64;
+        let mut lag = 0u64;
+        let mut degraded = 0u64;
+        for gid in self.fabric.group_ids() {
+            let g = self.fabric.group(gid);
+            if let Some(jid) = g.primary_jnl {
+                occupancy += self.fabric.journal(jid).used_bytes();
+            }
+            for &pid in &g.pairs {
+                let p = self.fabric.pair(pid);
+                lag += p.acked_writes.saturating_sub(p.applied_writes);
+            }
+            if !g.pairs.is_empty() && !g.is_active() {
+                degraded += 1;
+            }
+        }
+        let links_down = self.net.iter().filter(|(_, l)| !l.is_up(now)).count() as u64;
+        let arrays_failed = self.arrays.iter().filter(|a| a.is_failed()).count() as u64;
+        self.metrics.sample(names::HEALTH_RPO_LAG, now, lag as f64);
+        self.metrics
+            .sample(names::HEALTH_JOURNAL_OCCUPANCY, now, occupancy as f64);
+        self.metrics
+            .sample(names::HEALTH_LINKS_DOWN, now, links_down as f64);
+        self.metrics
+            .sample(names::HEALTH_ARRAYS_FAILED, now, arrays_failed as f64);
+        self.metrics
+            .sample(names::HEALTH_GROUPS_DEGRADED, now, degraded as f64);
     }
 
     /// Install a tracing handle on the world, its network and every link,

@@ -128,7 +128,7 @@ fn traced_run_samples_replication_series_and_counts_metrics() {
         tsuru_storage::metric_names::RPO_LAG,
     ] {
         assert!(
-            snap.series.iter().any(|(n, _, _)| n == name),
+            snap.series.iter().any(|(n, _)| n == name),
             "series {name} missing from snapshot"
         );
     }
@@ -136,9 +136,9 @@ fn traced_run_samples_replication_series_and_counts_metrics() {
     let last_lag = snap
         .series
         .iter()
-        .filter(|(n, _, _)| n == tsuru_storage::metric_names::RPO_LAG)
+        .filter(|(n, _)| n == tsuru_storage::metric_names::RPO_LAG)
         .next_back()
-        .map(|&(_, _, v)| v)
+        .map(|(_, s)| s.last)
         .expect("at least one rpo.lag_writes sample");
     assert_eq!(last_lag, 0.0);
 }

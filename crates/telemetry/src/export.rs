@@ -8,7 +8,7 @@
 use crate::tracer::{AttrVal, RecordKind, SpanId, TraceRecord};
 
 /// Escape a string for inclusion in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

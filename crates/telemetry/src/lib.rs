@@ -26,11 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 mod export;
+pub mod incident;
 mod registry;
 mod tracer;
 
-pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use alert::{AlertEngine, AlertProfile, AlertRule, RuleKind, Signal};
+pub use incident::{FaultRef, Incident, IncidentLog};
+pub use registry::{MetricsRegistry, MetricsSnapshot, SeriesSummary};
 pub use tracer::{AttrVal, Attrs, RecordKind, SpanId, TraceRecord, Tracer};
 
 /// Stable span and instant names emitted by the instrumented stack.
@@ -92,4 +96,22 @@ pub mod names {
     /// Time series: supervisor time-to-heal per recovered group, in
     /// nanoseconds of sim-time.
     pub const SUPERVISOR_TIME_TO_HEAL: &str = "supervisor.time_to_heal_ns";
+    /// Histogram: sampled supervisor backoff waits, in nanoseconds of
+    /// sim-time (one sample per backoff the supervisor begins).
+    pub const SUPERVISOR_BACKOFF_WAIT: &str = "supervisor.backoff_wait_ns";
+    /// Histogram: recovery-stage duration per healed group (suspension
+    /// to healthy), in nanoseconds of sim-time.
+    pub const SUPERVISOR_RECOVERY_STAGE: &str = "supervisor.recovery_stage_ns";
+    /// Health series, sampled only on SLO ticks while the alert engine
+    /// is armed: acked-but-unapplied writes across all pairs.
+    pub const HEALTH_RPO_LAG: &str = "health.rpo_lag";
+    /// Health series: total primary-journal occupancy in bytes.
+    pub const HEALTH_JOURNAL_OCCUPANCY: &str = "health.journal_occupancy_bytes";
+    /// Health series: links currently refusing frames (down).
+    pub const HEALTH_LINKS_DOWN: &str = "health.links_down";
+    /// Health series: arrays currently failed.
+    pub const HEALTH_ARRAYS_FAILED: &str = "health.arrays_failed";
+    /// Health series: replication groups whose pair state is degraded
+    /// (any member not PAIR).
+    pub const HEALTH_GROUPS_DEGRADED: &str = "health.groups_degraded";
 }

@@ -100,7 +100,7 @@ impl MetricsRegistry {
     }
 
     /// A serializable point-in-time snapshot: counters and gauges by
-    /// name, histogram summaries, and series (name, length, last value).
+    /// name, histogram summaries, and per-series value summaries.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
@@ -121,11 +121,56 @@ impl MetricsRegistry {
             series: self
                 .series
                 .iter()
-                .map(|(&k, s)| {
-                    let last = s.points().last().map(|&(_, v)| v).unwrap_or(0.0);
-                    (k.to_string(), s.len() as u64, last)
-                })
+                .map(|(&k, s)| (k.to_string(), SeriesSummary::of(s)))
                 .collect(),
+        }
+    }
+}
+
+/// Value summary of one time series, computed over the observed points
+/// (not time-weighted): enough to gate regressions on a snapshot without
+/// carrying the whole series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Number of observations.
+    pub len: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean of the observed values (0 when empty).
+    pub mean: f64,
+    /// Last observed value (0 when empty).
+    pub last: f64,
+}
+
+impl SeriesSummary {
+    /// Summarize `series`.
+    pub fn of(series: &TimeSeries) -> Self {
+        let pts = series.points();
+        if pts.is_empty() {
+            return SeriesSummary {
+                len: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                last: 0.0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &(_, v) in pts {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        SeriesSummary {
+            len: pts.len() as u64,
+            min,
+            max,
+            mean: sum / pts.len() as f64,
+            last: pts.last().expect("invariant: the empty case returned above").1,
         }
     }
 }
@@ -139,8 +184,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries by name.
     pub histograms: Vec<(String, Summary)>,
-    /// Per-series name, observation count, and last observed value.
-    pub series: Vec<(String, u64, f64)>,
+    /// Per-series value summaries by name.
+    pub series: Vec<(String, SeriesSummary)>,
 }
 
 #[cfg(test)]
@@ -198,6 +243,18 @@ mod tests {
             vec![("a.counter".to_string(), 1), ("b.counter".to_string(), 1)]
         );
         assert_eq!(snap.histograms.len(), 1);
-        assert_eq!(snap.series, vec![("occ".to_string(), 2, 7.0)]);
+        assert_eq!(
+            snap.series,
+            vec![(
+                "occ".to_string(),
+                SeriesSummary {
+                    len: 2,
+                    min: 1.0,
+                    max: 7.0,
+                    mean: 4.0,
+                    last: 7.0,
+                }
+            )]
+        );
     }
 }

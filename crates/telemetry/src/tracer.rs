@@ -308,6 +308,31 @@ impl Tracer {
         }
     }
 
+    /// Every open fault window, outermost first, each with the `kind`
+    /// attribute its `fault` span was opened with ("" when the span
+    /// carried none). This is how an alert incident names the faults
+    /// that were active when it fired.
+    pub fn open_faults(&self) -> Vec<(SpanId, String)> {
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        let core = core.borrow();
+        core.fault_stack
+            .iter()
+            .map(|&id| {
+                let kind = core
+                    .records
+                    .iter()
+                    .find(|r| r.id == id && r.kind == RecordKind::Start)
+                    .and_then(|r| {
+                        r.attrs.iter().find(|(k, _)| *k == "kind").map(|(_, v)| v.to_string())
+                    })
+                    .unwrap_or_default();
+                (id, kind)
+            })
+            .collect()
+    }
+
     /// Number of records so far (0 when disabled).
     pub fn len(&self) -> usize {
         match &self.0 {
@@ -338,7 +363,7 @@ impl Tracer {
         };
         let core = core.borrow();
         let skip = core.records.len().saturating_sub(n);
-        core.records[skip..].iter().map(render_record).collect()
+        core.records.iter().skip(skip).map(render_record).collect()
     }
 
     /// Export the trace as JSON Lines (one record per line). Empty
@@ -434,6 +459,24 @@ mod tests {
         assert!(attr_of(f2).is_empty());
         assert!(attr_of(w2).is_empty());
         assert!(t.current_fault().is_none());
+    }
+
+    #[test]
+    fn open_faults_carry_their_kind_attr() {
+        let t = Tracer::enabled();
+        assert!(Tracer::disabled().open_faults().is_empty());
+        let a = t.span_start("fault", at(1), SpanId::NONE, || {
+            vec![("kind", "link-partition".into())]
+        });
+        let b = t.span_start("fault", at(2), SpanId::NONE, Vec::new);
+        t.push_fault(a);
+        t.push_fault(b);
+        assert_eq!(
+            t.open_faults(),
+            vec![(a, "link-partition".to_string()), (b, String::new())]
+        );
+        t.pop_fault(a);
+        assert_eq!(t.open_faults(), vec![(b, String::new())]);
     }
 
     #[test]
