@@ -11,6 +11,7 @@
 //! cargo run -p tsuru-bench --release --bin repro history    # history sweep (E9)
 //! cargo run -p tsuru-bench --release --bin repro e10        # convergence sweep (E10)
 //! cargo run -p tsuru-bench --release --bin repro e11        # alert sweep (E11)
+//! cargo run -p tsuru-bench --release --bin repro e12        # tenant scaling (E12)
 //! ```
 //!
 //! `--threads N` sets the trial-harness worker count for the multi-trial
@@ -40,7 +41,9 @@ use std::path::{Path, PathBuf};
 
 use tsuru_bench::{
     render_a1, render_a2, render_e1, render_e2, render_e3, render_e4, render_e5, render_e7,
+    render_e12,
 };
+use tsuru_core::tenants::e12_scale_with;
 use tsuru_core::experiments::{
     a1_backup_lag_with, a2_journal_policy_with, e1_slowdown_with, e2_collapse_with, e3_rpo_with,
     e4_snapshot, e5_operator, e6_demo, e7_three_dc,
@@ -77,6 +80,9 @@ struct Options {
     /// `--baseline PATH` (bench): compare against a checked-in baseline and
     /// exit nonzero if typed events/sec regresses more than 20 %.
     baseline: Option<PathBuf>,
+    /// `--tenants N,N,…` (e12): override the tenant-count sweep (the
+    /// default is 100,1000,10000). CI smoke uses small counts here.
+    tenants: Option<Vec<u32>>,
 }
 
 impl Options {
@@ -93,6 +99,7 @@ impl Options {
             alerts_dir: None,
             json: None,
             baseline: None,
+            tenants: None,
         };
         let args: Vec<String> = args.collect();
         let mut i = 0;
@@ -146,6 +153,13 @@ impl Options {
                 }
             } else if let Some(v) = a.strip_prefix("--baseline=") {
                 opts.baseline = Some(PathBuf::from(v));
+            } else if a == "--tenants" {
+                if let Some(v) = args.get(i + 1) {
+                    opts.tenants = parse_tenants(v);
+                    i += 1;
+                }
+            } else if let Some(v) = a.strip_prefix("--tenants=") {
+                opts.tenants = parse_tenants(v);
             } else if !a.starts_with("--") {
                 opts.names.push(a.clone());
             }
@@ -449,6 +463,49 @@ fn run_e11(harness: &TrialHarness, opts: &Options) {
     }
 }
 
+/// The `e12` subcommand: the metro-scale tenant-scaling sweep. Each
+/// trial builds an independent sharded multi-tenant world (one
+/// consistency group per tenant, groups partitioned across 8 WAN shard
+/// lanes), drives the ecom-shaped open-loop order traffic, probes RPO
+/// mid-run (the main-site-failure thought experiment) and then drains to
+/// quiescence, reading the per-shard journal-occupancy and apply-lag
+/// series peaks.
+fn run_e12(harness: &TrialHarness, opts: &Options) {
+    println!("== E12 (extension): metro-scale tenant scaling — sharded StorageWorld ==");
+    println!("   one CG per tenant on 8 shard lanes; 2 writes/order, open loop;");
+    println!("   RPO probed at t=25ms, per-shard series peaks over the full run\n");
+    let counts = opts
+        .tenants
+        .clone()
+        .unwrap_or_else(|| vec![100, 1_000, 10_000]);
+    let set = e12_scale_with(harness, 0xC0FFEE, &counts);
+    report("e12", &set.stats);
+    let table = render_e12(&set.rows);
+    println!("{table}");
+    maybe_csv(opts, "e12", &table);
+    println!(
+        "\nexpect: 100 tenants keep the lanes idle (tiny probe backlog, sub-ms drain\n\
+         tail); 10k tenants contend for the same 8 lanes, so probe backlog, peak\n\
+         journal occupancy and apply lag all rise while entries/frame shows the\n\
+         transfer pumps batching harder. Every row must verify prefix-consistent.\n\
+         Byte-identical at any --threads value.\n"
+    );
+}
+
+/// Parse a `--tenants` list (`"100,1000"`); `None` on any bad element.
+fn parse_tenants(v: &str) -> Option<Vec<u32>> {
+    let counts: Vec<u32> = v
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if counts.is_empty() {
+        None
+    } else {
+        Some(counts)
+    }
+}
+
 /// The `trace` subcommand: replay seeded chaos plans with the causal
 /// tracer on and export each trial's trace (JSONL + Chrome
 /// `trace_event`). Exports are byte-identical at any `--threads` value.
@@ -571,6 +628,11 @@ fn main() {
     if opts.names.iter().any(|n| n == "e11") {
         run_e11(&harness, &opts);
     }
+    // Opt-in only (`repro e12`): builds worlds up to 10k consistency
+    // groups — seconds of wall-clock, so not part of the default set.
+    if opts.names.iter().any(|n| n == "e12") {
+        run_e12(&harness, &opts);
+    }
     // Opt-in only (`repro bench`): wall-clock kernel microbenchmarks and
     // per-experiment timings. Everything goes to stderr / `--json`; exits
     // nonzero if `--baseline` shows a >20 % events/sec regression.
@@ -625,8 +687,15 @@ fn run_bench(harness: &TrialHarness, opts: &Options) -> bool {
         note(
             "bench",
             &format!(
-                "{:<11} {} events in {:.3} s -> {:.3e} events/s (peak queue depth {})",
-                r.kernel, r.events, r.secs, r.events_per_sec, r.peak_pending
+                "{:<11} {} events in {:.3} s -> {:.3e} events/s (peak queue depth {}, \
+                 {:.6} allocs/event, peak slab {})",
+                r.kernel,
+                r.events,
+                r.secs,
+                r.events_per_sec,
+                r.peak_pending,
+                r.allocs_per_event,
+                r.peak_slab
             ),
         );
     };
@@ -701,7 +770,7 @@ fn run_bench(harness: &TrialHarness, opts: &Options) -> bool {
             }
         };
         let floor = base * 0.8;
-        let ok = typed.events_per_sec >= floor;
+        let mut ok = typed.events_per_sec >= floor;
         note(
             "bench",
             &format!(
@@ -712,6 +781,30 @@ fn run_bench(harness: &TrialHarness, opts: &Options) -> bool {
                 if ok { "pass" } else { "FAIL" }
             ),
         );
+        // Allocation ratchet: allocs/event is deterministic (schedule-only),
+        // so any growth over the checked-in baseline is a real regression.
+        // Baselines predating the field skip the ratchet (additive schema).
+        if let Some(base_alloc) = fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .and_then(baseline_allocs_per_event)
+        {
+            let ceil = base_alloc * 1.1 + 1e-9;
+            let alloc_ok = typed.allocs_per_event <= ceil;
+            note(
+                "bench",
+                &format!(
+                    "alloc ratchet: typed {:.8} allocs/event vs ceiling {:.8} (1.1 x baseline {:.8}) -> {}",
+                    typed.allocs_per_event,
+                    ceil,
+                    base_alloc,
+                    if alloc_ok { "pass" } else { "FAIL" }
+                ),
+            );
+            ok = ok && alloc_ok;
+        } else {
+            note("bench", "alloc ratchet: baseline has no allocs_per_event, skipped");
+        }
         return ok;
     }
     true
@@ -726,10 +819,14 @@ fn bench_json(
     rig_peak: usize,
     experiments: &[(&str, f64)],
 ) -> String {
+    // `allocs_per_event` / `peak_slab` are additive to the schema: the
+    // baseline reader scans for named keys, so older BENCH.json baselines
+    // (without them) still parse and newer files gain the ratchet.
     let rate = |r: &tsuru_bench::kernelbench::KernelRate| {
         format!(
-            "{{\"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"peak_pending\": {}}}",
-            r.events, r.secs, r.events_per_sec, r.peak_pending
+            "{{\"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"peak_pending\": {}, \
+             \"allocs_per_event\": {:.8}, \"peak_slab\": {}}}",
+            r.events, r.secs, r.events_per_sec, r.peak_pending, r.allocs_per_event, r.peak_slab
         )
     };
     let exps: Vec<String> = experiments
@@ -746,14 +843,27 @@ fn bench_json(
     )
 }
 
-/// Pull `kernel.typed_wheel.events_per_sec` out of a `BENCH.json` without a
-/// JSON parser: locate the `typed_wheel` object, then the first
-/// `events_per_sec` key after it.
-fn baseline_events_per_sec(text: &str) -> Option<f64> {
+/// Pull a numeric field of the `typed_wheel` object out of a `BENCH.json`
+/// without a JSON parser: locate `typed_wheel`, then the first `key` after
+/// it. Unknown keys simply return `None`, so the schema can grow fields
+/// without breaking older readers (and vice versa).
+fn typed_wheel_field(text: &str, key: &str) -> Option<f64> {
     let obj = &text[text.find("\"typed_wheel\"")?..];
-    let rest = &obj[obj.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    let marker = format!("\"{key}\":");
+    let rest = &obj[obj.find(&marker)? + marker.len()..];
     let end = rest.find(|c: char| c == ',' || c == '}')?;
     rest[..end].trim().parse().ok()
+}
+
+/// `kernel.typed_wheel.events_per_sec` from a `BENCH.json`.
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    typed_wheel_field(text, "events_per_sec")
+}
+
+/// `kernel.typed_wheel.allocs_per_event` from a `BENCH.json`; `None` for
+/// baselines predating the field.
+fn baseline_allocs_per_event(text: &str) -> Option<f64> {
+    typed_wheel_field(text, "allocs_per_event")
 }
 
 fn run_a1(harness: &TrialHarness, opts: &Options) {

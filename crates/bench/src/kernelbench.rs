@@ -62,9 +62,24 @@ impl Event<u64> for Tick {
     }
 }
 
+/// What one chain run observed. `alloc_events` and `peak_slab` are
+/// deterministic (they depend only on the schedule, never on wall-clock),
+/// so CI can ratchet them alongside the wall-clock rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainRun {
+    /// Events actually dispatched.
+    pub events: u64,
+    /// High-water mark of the pending queue.
+    pub peak_pending: usize,
+    /// Pending-store capacity growths (≈ allocations) during the run.
+    pub alloc_events: u64,
+    /// High-water mark of the wheel's batch slab (0 for the reference
+    /// kernel, which has no batch path).
+    pub peak_slab: usize,
+}
+
 /// Run ~`total_events` typed events through the production kernel.
-/// Returns `(events_executed, peak_pending)`.
-pub fn run_typed_chain(total_events: u64) -> (u64, usize) {
+pub fn run_typed_chain(total_events: u64) -> ChainRun {
     let per_chain = (total_events / CHAINS).max(1) as u32;
     let mut sim: Sim<u64, Tick> = Sim::new();
     for c in 0..CHAINS {
@@ -74,7 +89,12 @@ pub fn run_typed_chain(total_events: u64) -> (u64, usize) {
     }
     let mut state = 0u64;
     sim.run(&mut state);
-    (sim.events_executed(), sim.peak_pending())
+    ChainRun {
+        events: sim.events_executed(),
+        peak_pending: sim.peak_pending(),
+        alloc_events: sim.alloc_events(),
+        peak_slab: sim.peak_slab(),
+    }
 }
 
 /// One hop of the boxed-closure chain on the reference kernel. Every
@@ -91,8 +111,10 @@ fn boxed_hop(state: &mut u64, sim: &mut RefSim<u64>, left: u32) {
 }
 
 /// Run ~`total_events` boxed-closure events through the reference kernel.
-/// Returns `(events_executed, peak_pending)`.
-pub fn run_boxed_chain(total_events: u64) -> (u64, usize) {
+/// Every event is one fresh `Box<dyn FnOnce>` by construction, so
+/// `alloc_events` is the event count — the 1-allocation-per-event floor
+/// the typed kernel's slab amortizes away.
+pub fn run_boxed_chain(total_events: u64) -> ChainRun {
     let per_chain = (total_events / CHAINS).max(1) as u32;
     let mut sim: RefSim<u64> = RefSim::new();
     for c in 0..CHAINS {
@@ -103,7 +125,12 @@ pub fn run_boxed_chain(total_events: u64) -> (u64, usize) {
     }
     let mut state = 0u64;
     sim.run(&mut state);
-    (sim.events_executed(), sim.peak_pending())
+    ChainRun {
+        events: sim.events_executed(),
+        peak_pending: sim.peak_pending(),
+        alloc_events: sim.events_executed(),
+        peak_slab: 0,
+    }
 }
 
 /// One measured kernel rate, as emitted into `BENCH.json`.
@@ -119,6 +146,11 @@ pub struct KernelRate {
     pub events_per_sec: f64,
     /// High-water mark of the pending queue during the run.
     pub peak_pending: usize,
+    /// Pending-store capacity growths per dispatched event — the kernel's
+    /// allocation rate. Deterministic, so CI ratchets it.
+    pub allocs_per_event: f64,
+    /// High-water mark of the wheel's batch slab during the run.
+    pub peak_slab: usize,
 }
 
 /// Time `f` and return its result plus elapsed wall-clock seconds. The one
@@ -133,19 +165,22 @@ pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Repetitions per measurement; the fastest is kept. Best-of-N reports the
 /// kernel's actual cost — the slower repeats measure scheduler noise, not
-/// the code — and keeps the CI regression gate stable.
-pub const REPS: usize = 5;
+/// the code — and keeps the CI regression gate stable. Shared CI hosts
+/// show multi-second slow bursts, so N spans several of them.
+pub const REPS: usize = 9;
 
-fn best_of(kernel: &'static str, run: impl Fn() -> (u64, usize)) -> KernelRate {
+fn best_of(kernel: &'static str, run: impl Fn() -> ChainRun) -> KernelRate {
     let mut best: Option<KernelRate> = None;
     for _ in 0..REPS {
-        let ((events, peak), secs) = time_secs(&run);
+        let (r, secs) = time_secs(&run);
         let rate = KernelRate {
             kernel,
-            events,
+            events: r.events,
             secs,
-            events_per_sec: events as f64 / secs.max(1e-9),
-            peak_pending: peak,
+            events_per_sec: r.events as f64 / secs.max(1e-9),
+            peak_pending: r.peak_pending,
+            allocs_per_event: r.alloc_events as f64 / r.events.max(1) as f64,
+            peak_slab: r.peak_slab,
         };
         if best.as_ref().is_none_or(|b| rate.events_per_sec > b.events_per_sec) {
             best = Some(rate);
@@ -172,12 +207,25 @@ mod tests {
 
     #[test]
     fn both_kernels_execute_the_same_event_count() {
-        let (typed, tp) = run_typed_chain(4096);
-        let (boxed, bp) = run_boxed_chain(4096);
-        assert_eq!(typed, boxed);
-        assert_eq!(typed, (4096 / CHAINS) * CHAINS);
+        let typed = run_typed_chain(4096);
+        let boxed = run_boxed_chain(4096);
+        assert_eq!(typed.events, boxed.events);
+        assert_eq!(typed.events, (4096 / CHAINS) * CHAINS);
         // All chains start pending, so the high-water mark sees every chain.
-        assert!(tp >= CHAINS as usize);
-        assert!(bp >= CHAINS as usize);
+        assert!(typed.peak_pending >= CHAINS as usize);
+        assert!(boxed.peak_pending >= CHAINS as usize);
+        // The boxed reference allocates per event; the typed wheel's
+        // capacity growths amortize to a small fraction of that.
+        assert_eq!(boxed.alloc_events, boxed.events);
+        assert!(typed.alloc_events < typed.events / 2);
+    }
+
+    #[test]
+    fn chain_stats_are_deterministic() {
+        let a = run_typed_chain(8192);
+        let b = run_typed_chain(8192);
+        assert_eq!(a.alloc_events, b.alloc_events);
+        assert_eq!(a.peak_slab, b.peak_slab);
+        assert_eq!(a.peak_pending, b.peak_pending);
     }
 }

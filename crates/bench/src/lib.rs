@@ -236,6 +236,41 @@ pub fn render_e7(rows: &[tsuru_core::experiments::E7Row]) -> String {
     )
 }
 
+/// Render the E12 (metro-scale tenant-scaling) table.
+pub fn render_e12(rows: &[tsuru_core::E12Row]) -> String {
+    render_table(
+        &[
+            "tenants",
+            "shards",
+            "acked",
+            "backlog@probe",
+            "rpo_ms@probe",
+            "peak_jnl_kib",
+            "peak_lag",
+            "ent/frame",
+            "drain_ms",
+            "consistent",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tenants.to_string(),
+                    r.shards.to_string(),
+                    r.writes_acked.to_string(),
+                    r.backlog_at_probe.to_string(),
+                    f2(r.rpo_at_probe_ms),
+                    f2(r.peak_shard_jnl_kib),
+                    format!("{:.0}", r.peak_shard_lag),
+                    f2(r.entries_per_frame),
+                    f2(r.drain_ms),
+                    if r.consistent { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
 /// Serialize a rendered table (as produced by the `render_*` functions)
 /// into CSV, so plots of the paper's "figures" can be regenerated from the
 /// same rows (`repro --csv`).

@@ -20,6 +20,7 @@ mod harness;
 mod report;
 mod rig;
 mod system;
+pub mod tenants;
 mod world;
 
 pub use event::{ControlOp, DemoEvent, DemoSim};
@@ -29,4 +30,5 @@ pub use rig::{BackupMode, RecoveryOutcome, RigConfig, TwoSiteRig, VOLUME_NAMES};
 pub use system::{
     BusinessRecovery, DemoConfig, DemoSystem, FailoverReport, DRIVER_NAME, STORAGE_CLASS,
 };
+pub use tenants::{e12_scale_with, E12Row, TenantParams, TenantWorld};
 pub use world::DemoWorld;

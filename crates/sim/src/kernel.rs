@@ -125,6 +125,23 @@ impl<S, E: Event<S>> Sim<S, E> {
         self.peak_pending
     }
 
+    /// High-water mark of the wheel's batch slab: the largest number of
+    /// same-deadline events drained from one wheel slot and served
+    /// contiguously. A proxy for how much the batch path is exercised.
+    #[inline]
+    pub fn peak_slab(&self) -> usize {
+        self.wheel.slab_peak()
+    }
+
+    /// Deterministic count of heap reallocations performed by the
+    /// pending-event store (wheel bucket / batch-slab capacity growths)
+    /// since construction. Depends only on the schedule — never on
+    /// wall-clock or addresses — so the bench can ratchet it in CI.
+    #[inline]
+    pub fn alloc_events(&self) -> u64 {
+        self.wheel.grow_events()
+    }
+
     /// Schedule event `ev` at absolute time `t`. Zero-allocation for
     /// typed (non-`Dyn`) events. The returned token can cancel it.
     ///

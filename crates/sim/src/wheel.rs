@@ -2,24 +2,60 @@
 //!
 //! Eleven levels of 64 slots each cover the full `u64` nanosecond range
 //! (64^11 = 2^66). Level 0 resolves single nanoseconds; each level above
-//! is 64× coarser. Insert and pop are O(1) amortized: an event is hashed
-//! to a slot by the bits of its deadline that differ from the wheel's
-//! `elapsed` cursor, and at most ten cascades (one per level) can touch it
-//! over its whole lifetime.
+//! is 64× coarser. Insert is O(1): an event is hashed to a slot by the
+//! bits of its deadline that differ from the wheel's `elapsed` cursor.
+//!
+//! Ready events are served through a **batch slab**: when the wheel's
+//! front slot comes due, the *whole slot* — at whatever level — is drained
+//! into one contiguous `Vec` by a buffer swap, sorted once by
+//! `(when, seq)`, and handed out back-to-front with no bitmap scans,
+//! bucket probes, or per-event pointer chasing. This replaces the classic
+//! cascade (which re-homed every entry of a drained slot once per level,
+//! up to ten times over its lifetime) with a single sort: at drain time
+//! the front slot *is* the global minimum run — every other pending entry
+//! is strictly later than everything in it — so its sorted order is final.
+//!
+//! The only wrinkle is events scheduled *while* a batch is being served
+//! whose deadlines land inside the live batch's range. A push whose
+//! deadline is at or below `batch_max` goes **straight into the batch**
+//! at its sorted position (every wheel entry is strictly later, so the
+//! batch stays the global minimum run) — as long as the batch is small
+//! enough that the insert memmove is cheap. For oversized batches the
+//! push falls back to the wheel, and the wheel keeps a running lower
+//! bound on its earliest pending deadline (`wheel_min_bound`, lowered by
+//! every push, re-tightened by pops); while the batch head is at or
+//! below the bound, service is a bare `Vec::pop`, and only an overtaking
+//! push costs one exact front scan. The classic scan-and-cascade pop
+//! ([`TimerWheel::pop_wheel_single`]) survives for exactly that rare
+//! preemption path. The cursor stays **frozen at the drained
+//! slot's block start** for the whole batch service, so every wheel
+//! residence stays consistent with `elapsed` and cancellation remains a
+//! pure recomputation.
 //!
 //! Determinism contract: [`TimerWheel::pop`] yields entries in exactly
 //! ascending `(when, seq)` order — the same order a binary heap with a
 //! `(time, seq)` key would produce — which is what keeps simulation runs
-//! bit-identical to the old `BinaryHeap` kernel. The proof sketch lives
-//! alongside each method; DESIGN.md §10 has the full argument.
+//! bit-identical to the old `BinaryHeap` kernel. The proof obligations:
 //!
-//! Invariant at every public API boundary: every pending entry sits at
-//! `level_and_slot(entry.when)` computed against the *current* `elapsed`
-//! cursor. `elapsed` only advances inside [`TimerWheel::pop`], and a pop
-//! at level L re-homes exactly the entries of the drained slot (levels
-//! above L keep both their digit of `elapsed` and their slot index; levels
-//! below L were empty). That is what makes [`TimerWheel::cancel`] a pure
-//! recomputation and [`TimerWheel::next_time`] side-effect free.
+//! 1. *Drain soundness.* The front slot (lowest occupied slot of the
+//!    lowest occupied level) holds the pending minimum, and every entry
+//!    outside it is strictly later than every entry inside it — lower
+//!    levels are empty, same-level slots with higher indices and all
+//!    higher levels differ from `elapsed` in a more significant digit.
+//! 2. *Interleave soundness.* A post-drain push carries a strictly
+//!    higher `seq`, so on a deadline tie it sorts after every live batch
+//!    entry. An in-range push (`when ≤ batch_max`) lands at its exact
+//!    sorted position in the batch; an out-of-range push leaves the
+//!    batch the global minimum run. Only when the batch is too large to
+//!    insert into does an earlier push go to the wheel, where the
+//!    `wheel_min_bound` check catches it and serves it first through the
+//!    classic pop.
+//! 3. *Home stability.* `elapsed` only ever advances to a value that is
+//!    ≤ every pending wheel deadline, and only to (a) a drained slot's
+//!    block start, (b) a popped level-0 entry's deadline (same 64-block),
+//!    or (c) a cascaded slot's block start — each preserves every other
+//!    entry's `level_and_slot` residence, so [`TimerWheel::cancel`] and
+//!    [`TimerWheel::next_time`] stay pure recomputations.
 
 /// log2 of the slot count per level.
 const LEVEL_BITS: u32 = 6;
@@ -31,6 +67,18 @@ const LEVELS: usize = 11;
 /// slot does not allocate. Steady-state workloads with fewer than this
 /// many co-resident entries per slot run allocation-free.
 const SLOT_PREALLOC: usize = 4;
+/// Largest live batch a push may sorted-insert into. Inserting keeps the
+/// wheel untouched (no preemption machinery on later pops) but costs an
+/// `O(batch)` memmove, so only small batches — the steady-state shape —
+/// take it; giant drains fall back to the wheel + min-bound path.
+const BATCH_INSERT_CAP: usize = 512;
+/// Highest drained level served by the radix sort (covering
+/// `RADIX_MAX_LEVEL * LEVEL_BITS` varying deadline bits, one distribution
+/// pass per level). Rarer, coarser drains fall back to the comparison
+/// sort — more passes would out-cost it.
+const RADIX_MAX_LEVEL: usize = 5;
+/// Below this batch size the comparison sort wins (pass setup dominates).
+const RADIX_MIN_LEN: usize = 32;
 
 /// One pending event.
 struct Entry<T> {
@@ -44,16 +92,51 @@ pub(crate) type Popped<T> = (u64, u64, T);
 
 /// The wheel. `T` is the event payload type.
 pub(crate) struct TimerWheel<T> {
-    /// Cursor: the deadline of the most recently popped entry (or the
-    /// block start it cascaded to). Never exceeds any pending deadline.
+    /// Cursor: the block start of the most recently drained slot, or the
+    /// deadline of the most recently wheel-popped entry. Never exceeds
+    /// any pending wheel deadline.
     elapsed: u64,
-    /// Total pending entries.
+    /// Total pending entries (batch slab included).
     len: usize,
+    /// Level summary bitmap: bit `l` set ⇔ `occupied[l] != 0`. Finding
+    /// the lowest occupied level is one `trailing_zeros`, not a scan.
+    levels: u32,
     /// Per-level occupancy bitmaps: bit `s` set ⇔ `slot(level, s)` is
-    /// non-empty. Finding the next event is two `trailing_zeros` scans.
+    /// non-empty.
     occupied: [u64; LEVELS],
     /// `LEVELS * SLOTS` buckets, flattened; index `level * SLOTS + slot`.
     slots: Vec<Vec<Entry<T>>>,
+    /// The batch slab: one drained slot, sorted by `(when, seq)`
+    /// *descending* so service is `Vec::pop` from the tail.
+    batch: Vec<Entry<T>>,
+    /// Largest deadline in the live batch: cancellation probes the slab
+    /// only for keys at or below it. Stale while the batch is empty —
+    /// every reader checks emptiness first.
+    batch_max: u64,
+    /// A running lower bound on the earliest pending *wheel* deadline
+    /// (`u64::MAX` when provably empty). Maintained monotonically-safe:
+    /// every push lowers it if needed; pops re-tighten it. While the
+    /// batch head is ≤ this bound, no wheel entry can precede it and
+    /// batch service is a bare compare + `Vec::pop`; only when the bound
+    /// is overtaken does a serve pay one exact `wheel_next_time` scan.
+    wheel_min_bound: u64,
+    /// True while `wheel_min_bound` is the *exact* earliest pending wheel
+    /// deadline, not just a lower bound. Exactness holds after a full
+    /// `wheel_next_time` re-tighten and after every push-lowering (a push
+    /// below a sound lower bound IS the new minimum); it is lost when the
+    /// bound falls back to a bitmap block start (drain, cascade pop) or a
+    /// wheel-side cancel removes what might have been the minimum. While
+    /// exact, an overtaken batch head pops the wheel directly — no scan.
+    wheel_min_exact: bool,
+    /// 64 reusable distribution buckets for the drain-time radix sort,
+    /// flattened like `slots`. Empty between pops.
+    radix: Vec<Vec<Entry<T>>>,
+    /// High-water mark of the batch slab over the wheel's lifetime.
+    slab_peak: usize,
+    /// Deterministic allocation counter: how many times a bucket grew
+    /// past its capacity (each growth is one heap reallocation). Zero in
+    /// steady state — the bench ratchets this.
+    grow_events: u64,
 }
 
 impl<T> TimerWheel<T> {
@@ -61,10 +144,18 @@ impl<T> TimerWheel<T> {
         TimerWheel {
             elapsed: 0,
             len: 0,
+            levels: 0,
             occupied: [0; LEVELS],
             slots: (0..LEVELS * SLOTS)
                 .map(|_| Vec::with_capacity(SLOT_PREALLOC))
                 .collect(),
+            batch: Vec::with_capacity(SLOT_PREALLOC),
+            radix: (0..SLOTS).map(|_| Vec::new()).collect(),
+            batch_max: 0,
+            wheel_min_bound: u64::MAX,
+            wheel_min_exact: true,
+            slab_peak: 0,
+            grow_events: 0,
         }
     }
 
@@ -73,24 +164,32 @@ impl<T> TimerWheel<T> {
         self.len
     }
 
+    /// High-water mark of the batch slab (peak entries drained from one
+    /// slot and served contiguously).
+    #[inline]
+    pub(crate) fn slab_peak(&self) -> usize {
+        self.slab_peak
+    }
+
+    /// How many bucket capacity growths (heap reallocations) the wheel
+    /// has performed since construction. Deterministic: depends only on
+    /// the schedule, never on wall-clock or addresses.
+    #[inline]
+    pub(crate) fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
     /// The slot for a deadline, measured against the current cursor: the
     /// level is the highest 6-bit digit in which `when` and `elapsed`
     /// differ, the slot is `when`'s digit at that level.
     #[inline]
     fn level_and_slot(&self, when: u64) -> (usize, usize) {
-        let masked = when ^ self.elapsed;
-        let level = if masked == 0 {
-            0
-        } else {
-            ((63 - masked.leading_zeros()) / LEVEL_BITS) as usize
-        };
+        // `| 1` folds the `when == elapsed` case into level 0 without a
+        // branch (bit 0 never changes the level).
+        let masked = (when ^ self.elapsed) | 1;
+        let level = ((63 - masked.leading_zeros()) / LEVEL_BITS) as usize;
         let slot = ((when >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
         (level, slot)
-    }
-
-    #[inline]
-    fn bucket(&mut self, level: usize, slot: usize) -> &mut Vec<Entry<T>> {
-        &mut self.slots[level * SLOTS + slot]
     }
 
     /// Insert without touching `len` (shared by push and cascade).
@@ -98,7 +197,17 @@ impl<T> TimerWheel<T> {
     fn place(&mut self, e: Entry<T>) {
         let (level, slot) = self.level_and_slot(e.when);
         self.occupied[level] |= 1 << slot;
-        self.bucket(level, slot).push(e);
+        self.levels |= 1 << level;
+        let bucket = self
+            .slots
+            .get_mut(level * SLOTS + slot)
+            .expect("invariant: level < LEVELS and slot < SLOTS, so the flat index is in range");
+        if bucket.len() == bucket.capacity() {
+            // `push` below reallocates; count it so the bench can report
+            // allocations-per-event without an allocator shim.
+            self.grow_events += 1;
+        }
+        bucket.push(e);
     }
 
     /// Schedule `value` at `when`. `seq` must be the caller's unique,
@@ -107,62 +216,340 @@ impl<T> TimerWheel<T> {
     /// stronger condition: `when ≥ now ≥ elapsed`).
     pub(crate) fn push(&mut self, when: u64, seq: u64, value: T) {
         debug_assert!(when >= self.elapsed, "push({when}) behind cursor {}", self.elapsed);
-        self.place(Entry { when, seq, value });
         self.len += 1;
+        // A push landing inside a small live batch's range goes straight
+        // into the batch at its sorted position: every wheel entry is
+        // strictly later than `batch_max`, so the batch stays the global
+        // minimum run and later pops never consult the wheel for it.
+        if !self.batch.is_empty() && when <= self.batch_max && self.batch.len() <= BATCH_INSERT_CAP
+        {
+            return self.insert_into_batch(when, seq, value);
+        }
+        self.place(Entry { when, seq, value });
+        if when < self.wheel_min_bound {
+            // Below a sound lower bound on the old minimum, so `when` IS
+            // the new exact minimum.
+            self.wheel_min_bound = when;
+            self.wheel_min_exact = true;
+        }
     }
 
-    /// The earliest pending deadline, without mutating anything.
+    /// Sorted-insert into the live batch (see [`TimerWheel::push`]).
+    /// Out-of-line so the push fast path stays small enough to inline.
+    #[inline(never)]
+    fn insert_into_batch(&mut self, when: u64, seq: u64, value: T) {
+        let key = ((when as u128) << 64) | seq as u128;
+        let pos = self
+            .batch
+            .partition_point(|e| (((e.when as u128) << 64) | e.seq as u128) > key);
+        if self.batch.len() == self.batch.capacity() {
+            self.grow_events += 1;
+        }
+        self.batch.insert(pos, Entry { when, seq, value });
+        if self.batch.len() > self.slab_peak {
+            self.slab_peak = self.batch.len();
+        }
+    }
+
+    /// The block start of `(level, slot)` under the current cursor: the
+    /// cursor's digits above `level`, `slot` at `level`, zeros below.
+    #[inline]
+    fn block_start(&self, level: usize, slot: usize) -> u64 {
+        let shift = level as u32 * LEVEL_BITS;
+        let upper = shift + LEVEL_BITS;
+        let high = if upper >= 64 {
+            0
+        } else {
+            (self.elapsed >> upper) << upper
+        };
+        high | ((slot as u64) << shift)
+    }
+
+    /// The earliest pending *wheel* deadline (ignores the batch slab).
     ///
-    /// The global minimum lives in the lowest occupied slot of the lowest
-    /// occupied level: entries at level L differ from `elapsed` first at
-    /// digit L (all higher digits equal), so a lower level always means an
-    /// earlier deadline, and within a level a lower slot index does too.
-    pub(crate) fn next_time(&self) -> Option<u64> {
-        if self.len == 0 {
+    /// The global wheel minimum lives in the lowest occupied slot of the
+    /// lowest occupied level: entries at level L differ from `elapsed`
+    /// first at digit L (all higher digits equal), so a lower level
+    /// always means an earlier deadline, and within a level a lower slot
+    /// index does too.
+    fn wheel_next_time(&self) -> Option<u64> {
+        if self.levels == 0 {
             return None;
         }
-        let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
-        let slot = self.occupied[level].trailing_zeros() as u64;
+        let level = self.levels.trailing_zeros() as usize;
+        let slot = self
+            .occupied
+            .get(level)
+            .expect("invariant: levels bit set only for level < LEVELS")
+            .trailing_zeros() as u64;
         if level == 0 {
             // A level-0 slot holds exactly one deadline per rotation:
             // slot index == the deadline's low 6 bits, high bits == the
             // cursor's. No scan needed.
             Some((self.elapsed & !(SLOTS as u64 - 1)) | slot)
         } else {
-            // Coarser slots mix deadlines; scan the bucket (short: one
-            // rotation's worth of a 64×-coarser digit).
-            self.slots[level * SLOTS + slot as usize]
+            // Coarser slots mix deadlines; scan the bucket.
+            self.slots
+                .get(level * SLOTS + slot as usize)
+                .expect("invariant: level < LEVELS and slot < SLOTS, so the flat index is in range")
                 .iter()
                 .map(|e| e.when)
                 .min()
         }
     }
 
+    /// The earliest pending deadline, without mutating anything.
+    pub(crate) fn next_time(&self) -> Option<u64> {
+        match self.batch.last() {
+            None => self.wheel_next_time(),
+            Some(head) => {
+                if head.when <= self.wheel_min_bound {
+                    return Some(head.when);
+                }
+                if self.wheel_min_exact {
+                    // The bound is the exact wheel minimum and it precedes
+                    // the batch head (`head.when > bound` implies a
+                    // non-empty wheel: an empty one is bounded by MAX).
+                    return Some(self.wheel_min_bound);
+                }
+                match self.wheel_next_time() {
+                    Some(nt) if nt < head.when => Some(nt),
+                    _ => Some(head.when),
+                }
+            }
+        }
+    }
+
+    /// Serve the batch head. Callers guarantee no pending wheel entry
+    /// precedes it. The cursor does not move: it stays at the drained
+    /// slot's block start (≤ every pending deadline), keeping every
+    /// wheel residence valid.
+    #[inline]
+    fn serve_batch(&mut self) -> Option<Popped<T>> {
+        let e = self.batch.pop()?;
+        self.len -= 1;
+        Some((e.when, e.seq, e.value))
+    }
+
+    /// A cheap, sound lower bound on the earliest pending *wheel*
+    /// deadline: the block start of the front occupied slot. Bitmap-only —
+    /// no bucket scan — and immediately after a drain it is provably
+    /// ≥ `batch_max` (the next front slot's block lies entirely beyond the
+    /// drained block), so whole batches serve without any exact scans.
+    #[inline]
+    fn wheel_front_bound(&self) -> u64 {
+        if self.levels == 0 {
+            return u64::MAX;
+        }
+        let level = self.levels.trailing_zeros() as usize;
+        let slot = self
+            .occupied
+            .get(level)
+            .expect("invariant: levels bit set only for level < LEVELS")
+            .trailing_zeros() as usize;
+        self.block_start(level, slot)
+    }
+
     /// Remove and return the earliest entry; ties broken by lowest `seq`.
     ///
-    /// Cascades (a level-L pop re-homing its slot into levels < L) deliver
-    /// same-deadline entries in bucket order, which is *not* seq order, so
-    /// the level-0 pop scans its slot for the minimum seq. That scan is
-    /// what restores exact `(when, seq)` heap order.
+    /// Service order: the batch slab (already sorted; see the module
+    /// docs) unless an interleaving wheel entry is strictly earlier, in
+    /// which case the classic single pop runs. When both slab and
+    /// interleavers are exhausted, the wheel's front slot is drained
+    /// whole into the slab — one buffer swap, one sort — and service
+    /// continues from there.
+    #[inline]
     pub(crate) fn pop(&mut self) -> Option<Popped<T>> {
+        if let Some(head) = self.batch.last() {
+            // A deadline tie goes to the batch entry: wheel entries at
+            // the same instant were pushed after the drain and carry
+            // strictly higher seqs.
+            if head.when <= self.wheel_min_bound {
+                return self.serve_batch();
+            }
+            return self.pop_contended();
+        }
+        self.pop_drain()
+    }
+
+    /// The overtaken-bound path: a post-drain push got ahead of the batch
+    /// head. Pay one exact scan, then either let the earlier wheel entry
+    /// go first or re-tighten the bound and serve the batch. Out-of-line
+    /// to keep [`TimerWheel::pop`]'s fast path inlinable.
+    #[inline(never)]
+    fn pop_contended(&mut self) -> Option<Popped<T>> {
+        let head_when = self
+            .batch
+            .last()
+            .expect("invariant: pop_contended runs only with a live batch")
+            .when;
+        if self.wheel_min_exact {
+            // The bound is the exact wheel minimum and the batch head is
+            // strictly behind it: pop the wheel directly, no bucket scan.
+            debug_assert_eq!(self.wheel_next_time(), Some(self.wheel_min_bound));
+            let popped = self.pop_wheel_single();
+            self.wheel_min_bound = self.wheel_front_bound();
+            self.wheel_min_exact = false;
+            return popped;
+        }
+        let nt = self.wheel_next_time();
+        match nt {
+            Some(n) if n < head_when => {
+                let popped = self.pop_wheel_single();
+                self.wheel_min_bound = self.wheel_front_bound();
+                self.wheel_min_exact = false;
+                popped
+            }
+            _ => {
+                // The scan's result is the exact minimum — keep it.
+                self.wheel_min_bound = nt.unwrap_or(u64::MAX);
+                self.wheel_min_exact = true;
+                self.serve_batch()
+            }
+        }
+    }
+
+    /// The empty-batch path: drain the wheel's front slot into the slab
+    /// (or serve a single-entry slot directly). Out-of-line: it runs once
+    /// per batch, not once per pop.
+    #[inline(never)]
+    fn pop_drain(&mut self) -> Option<Popped<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Drain the front slot — the global minimum run — into the slab.
+        let level = self.levels.trailing_zeros() as usize;
+        let occ = self
+            .occupied
+            .get_mut(level)
+            .expect("invariant: len > 0 implies a summary bit for some level < LEVELS");
+        let slot = occ.trailing_zeros() as usize;
+        *occ &= !(1u64 << slot);
+        if *occ == 0 {
+            self.levels &= !(1u32 << level);
+        }
+        let start = self.block_start(level, slot);
+        let bucket = self
+            .slots
+            .get_mut(level * SLOTS + slot)
+            .expect("invariant: level < LEVELS and slot < SLOTS, so the flat index is in range");
+        if bucket.len() == 1 {
+            // Single-entry slot: serve directly, skipping the slab. All
+            // lower levels are empty, so advancing the cursor to the
+            // entry's own deadline preserves every other residence.
+            let e = bucket.pop().expect("invariant: an occupied slot is never empty");
+            self.len -= 1;
+            self.elapsed = e.when;
+            // Still a valid lower bound: `e` was the wheel minimum.
+            self.wheel_min_bound = e.when;
+            self.wheel_min_exact = false;
+            return Some((e.when, e.seq, e.value));
+        }
+        self.elapsed = start;
+        std::mem::swap(&mut self.batch, bucket);
+        self.sort_batch(level);
+        self.batch_max = self
+            .batch
+            .first()
+            .expect("invariant: an occupied slot is never empty")
+            .when;
+        self.wheel_min_bound = self.wheel_front_bound();
+        self.wheel_min_exact = false;
+        if self.batch.len() > self.slab_peak {
+            self.slab_peak = self.batch.len();
+        }
+        self.serve_batch()
+    }
+
+    /// Sort the freshly drained batch descending by `(when, seq)` so
+    /// service is `Vec::pop` from the tail.
+    ///
+    /// Entries drained from a level-`level` slot agree on every deadline
+    /// digit at `level` and above, so only `level * LEVEL_BITS` low bits
+    /// order them: an LSD counting distribution over those 6-bit digits
+    /// (one stable pass per level through the 64 reusable `radix`
+    /// buckets) replaces the comparison sort's `O(n log n)` key
+    /// construction and compare chain with `2 * level` linear moves.
+    /// Same-deadline runs are then ordered by `seq` in a final pass —
+    /// bucket order is not seq order once cascades have interleaved
+    /// pushes. Coarse (rare) or tiny drains keep the comparison sort.
+    fn sort_batch(&mut self, level: usize) {
+        if level > RADIX_MAX_LEVEL || self.batch.len() < RADIX_MIN_LEN {
+            // One branch-light u128 key compare beats a lexicographic
+            // tuple compare inside the sort's hot loop.
+            self.batch
+                .sort_unstable_by_key(|e| std::cmp::Reverse(((e.when as u128) << 64) | e.seq as u128));
+            return;
+        }
+        for pass in 0..level {
+            let shift = (pass as u32) * LEVEL_BITS;
+            let mut grows = 0u64;
+            for e in self.batch.drain(..) {
+                let d = ((e.when >> shift) as usize) & (SLOTS - 1);
+                let b = self
+                    .radix
+                    .get_mut(d)
+                    .expect("invariant: a masked 6-bit digit indexes the 64 radix buckets");
+                if b.len() == b.capacity() {
+                    grows += 1;
+                }
+                b.push(e);
+            }
+            self.grow_events += grows;
+            // Collect descending (digit 63 first): after the last pass the
+            // batch is descending by deadline, ties in bucket order.
+            for d in (0..SLOTS).rev() {
+                let b = self
+                    .radix
+                    .get_mut(d)
+                    .expect("invariant: d < SLOTS indexes the 64 radix buckets");
+                self.batch.append(b);
+            }
+        }
+        // Order same-deadline runs by seq, descending like the whole slab.
+        for run in self.batch.chunk_by_mut(|a, b| a.when == b.when) {
+            if run.len() > 1 {
+                run.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+            }
+        }
+    }
+
+    /// The classic cascading pop, used only while a live batch has
+    /// interleaving wheel entries in front of its head. Cascades re-home
+    /// a drained slot's entries one level down per pass; the level-0 pop
+    /// scans its slot for the minimum seq.
+    fn pop_wheel_single(&mut self) -> Option<Popped<T>> {
         loop {
-            if self.len == 0 {
+            if self.levels == 0 {
                 return None;
             }
-            let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
-            let slot = self.occupied[level].trailing_zeros() as usize;
+            let level = self.levels.trailing_zeros() as usize;
+            let slot = self
+                .occupied
+                .get(level)
+                .expect("invariant: levels bit set only for level < LEVELS")
+                .trailing_zeros() as usize;
             if level == 0 {
-                let idx = slot;
-                let bucket = &mut self.slots[idx];
-                let mut best = 0;
-                for i in 1..bucket.len() {
-                    if bucket[i].seq < bucket[best].seq {
-                        best = i;
-                    }
-                }
+                let bucket = self
+                    .slots
+                    .get_mut(slot)
+                    .expect("invariant: slot < SLOTS, so the level-0 index is in range");
+                let best = bucket
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, e)| e.seq)
+                    .map(|(i, _)| i)
+                    .expect("invariant: an occupied slot is never empty");
                 let e = bucket.swap_remove(best);
                 if bucket.is_empty() {
-                    self.occupied[0] &= !(1u64 << slot);
+                    let occ = self
+                        .occupied
+                        .get_mut(0)
+                        .expect("invariant: level 0 always exists");
+                    *occ &= !(1u64 << slot);
+                    if *occ == 0 {
+                        self.levels &= !1;
+                    }
                 }
                 self.len -= 1;
                 self.elapsed = e.when;
@@ -172,56 +559,90 @@ impl<T> TimerWheel<T> {
             // cascade its entries down. Every entry re-homes to a level
             // strictly below `level` (it now agrees with `elapsed` on
             // digit `level` and above), so the loop terminates.
-            let shift = level as u32 * LEVEL_BITS;
-            let upper = shift + LEVEL_BITS;
-            let high = if upper >= 64 {
-                0
-            } else {
-                (self.elapsed >> upper) << upper
-            };
-            self.elapsed = high | ((slot as u64) << shift);
-            self.occupied[level] &= !(1u64 << slot);
+            self.elapsed = self.block_start(level, slot);
+            let occ = self
+                .occupied
+                .get_mut(level)
+                .expect("invariant: levels bit set only for level < LEVELS");
+            *occ &= !(1u64 << slot);
+            if *occ == 0 {
+                self.levels &= !(1u32 << level);
+            }
             let idx = level * SLOTS + slot;
-            let mut moved = std::mem::take(&mut self.slots[idx]);
+            let mut moved = std::mem::take(
+                self.slots
+                    .get_mut(idx)
+                    .expect("invariant: level < LEVELS and slot < SLOTS, so the flat index is in range"),
+            );
             for e in moved.drain(..) {
                 self.place(e);
             }
             // Give the (now empty) bucket its allocation back so the
             // cascade path stays allocation-free in steady state.
-            self.slots[idx] = moved;
+            *self
+                .slots
+                .get_mut(idx)
+                .expect("invariant: level < LEVELS and slot < SLOTS, so the flat index is in range") =
+                moved;
         }
     }
 
     /// Cancel the pending entry `(when, seq)`. Returns its payload, or
     /// `None` if no such entry is pending (already fired or cancelled).
     ///
-    /// The entry, if live, is exactly at `level_and_slot(when)` under the
-    /// current cursor (see the module invariant), so this is one bucket
-    /// scan plus a `swap_remove` — the slot is reclaimed immediately.
+    /// A live entry is either in the batch slab or exactly at
+    /// `level_and_slot(when)` under the current cursor (home stability,
+    /// module docs), so this is at most two bucket scans plus a remove —
+    /// the slot is reclaimed immediately. The slab remove is an
+    /// order-preserving `Vec::remove` (cancels are rare; slab order must
+    /// stay sorted).
     pub(crate) fn cancel(&mut self, when: u64, seq: u64) -> Option<T> {
+        if !self.batch.is_empty() && when <= self.batch_max {
+            if let Some(pos) = self.batch.iter().position(|e| e.seq == seq && e.when == when) {
+                let e = self.batch.remove(pos);
+                self.len -= 1;
+                return Some(e.value);
+            }
+            // Not in the slab: may be a same-range entry pushed after
+            // the drain, which lives in the wheel — fall through.
+        }
         if self.len == 0 || when < self.elapsed {
             return None;
         }
         let (level, slot) = self.level_and_slot(when);
         let idx = level * SLOTS + slot;
-        let pos = self.slots[idx]
-            .iter()
-            .position(|e| e.seq == seq && e.when == when)?;
-        let e = self.slots[idx].swap_remove(pos);
-        if self.slots[idx].is_empty() {
+        let bucket = self
+            .slots
+            .get_mut(idx)
+            .expect("invariant: level_and_slot returns level < LEVELS and slot < SLOTS");
+        let pos = bucket.iter().position(|e| e.seq == seq && e.when == when)?;
+        let e = bucket.swap_remove(pos);
+        if bucket.is_empty() {
             self.occupied[level] &= !(1u64 << slot);
+            if self.occupied[level] == 0 {
+                self.levels &= !(1u32 << level);
+            }
         }
         self.len -= 1;
+        // The removed entry may have been the exact minimum; the bound
+        // stays sound (a removal can only raise the true minimum) but is
+        // no longer known to be tight.
+        self.wheel_min_exact = false;
         Some(e.value)
     }
 
-    /// Drop every pending entry, retaining bucket capacity. The cursor is
-    /// kept: deadlines already popped stay in the past.
+    /// Drop every pending entry, retaining bucket and slab capacity. The
+    /// cursor is kept: deadlines already popped stay in the past.
     pub(crate) fn clear(&mut self) {
         for b in &mut self.slots {
             b.clear();
         }
+        self.batch.clear();
+        self.batch_max = 0;
+        self.wheel_min_bound = u64::MAX;
+        self.wheel_min_exact = true;
         self.occupied = [0; LEVELS];
+        self.levels = 0;
         self.len = 0;
     }
 }
@@ -304,10 +725,115 @@ mod tests {
         let far = (1 << 24) + 17;
         w.push(far, 0, 1);
         w.push(1 << 24, 1, 2);
-        // Popping the block start cascades `far` down a level.
+        // Popping the earlier entry drains the shared slot into the slab.
         assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((1 << 24, 1)));
         assert_eq!(w.cancel(far, 0), Some(1));
         assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn cancel_reaches_into_the_batch_slab() {
+        let mut w = TimerWheel::new();
+        // Three same-deadline entries: the first pop drains the slot into
+        // the slab and serves seq 0, leaving seqs 1 and 2 in the slab.
+        w.push(70, 0, 10);
+        w.push(70, 1, 11);
+        w.push(70, 2, 12);
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((70, 0)));
+        assert_eq!(w.cancel(70, 1), Some(11));
+        assert_eq!(w.len(), 1);
+        // A same-deadline push after the drain is sorted-inserted into
+        // the live batch; cancel must find it there too.
+        w.push(70, 3, 13);
+        assert_eq!(w.cancel(70, 3), Some(13));
+        assert_eq!(drain(&mut w), vec![(70, 2)]);
+    }
+
+    #[test]
+    fn same_deadline_push_during_batch_service_keeps_seq_order() {
+        let mut w = TimerWheel::new();
+        for seq in 0..4 {
+            w.push(40, seq, seq as u32);
+        }
+        // First pop drains the slot into the slab.
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((40, 0)));
+        // A handler pushes two more entries at the same deadline: they
+        // land in the wheel with higher seqs and must fire *after* the
+        // remaining slab entries.
+        w.push(40, 4, 4);
+        w.push(40, 5, 5);
+        assert_eq!(w.next_time(), Some(40));
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn earlier_push_during_batch_service_preempts_the_batch() {
+        let mut w = TimerWheel::new();
+        // Two entries share a coarse slot (level 2 under cursor 0):
+        // draining it makes a multi-entry batch spanning [1 << 12, max].
+        let base = 1 << 12;
+        w.push(base + 3000, 0, 30);
+        w.push(base + 10, 1, 10);
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((base + 10, 1)));
+        // Handler schedules *inside* the live batch's range, earlier
+        // than the remaining batch head: it must fire first (here via a
+        // sorted insert into the small live batch).
+        w.push(base + 100, 2, 1);
+        w.push(base + 5000, 3, 50); // beyond nothing — also in range, later
+        assert_eq!(w.next_time(), Some(base + 100));
+        assert_eq!(
+            drain(&mut w),
+            vec![(base + 100, 2), (base + 3000, 0), (base + 5000, 3)]
+        );
+    }
+
+    #[test]
+    fn oversized_batch_routes_earlier_pushes_through_the_wheel() {
+        // A batch too large for sorted inserts exercises the fallback:
+        // in-range pushes go to the wheel, lower `wheel_min_bound`, and
+        // preempt batch service through the classic cascading pop.
+        let mut w = TimerWheel::new();
+        let base = 1 << 18; // level-3 block under cursor 0
+        let n = (BATCH_INSERT_CAP + 2) as u64;
+        for seq in 0..n {
+            w.push(base + 2 * seq + 10, seq, seq as u32);
+        }
+        assert_eq!(w.pop().map(|(a, b, _)| (a, b)), Some((base + 10, 0)));
+        assert!(w.slab_peak() > BATCH_INSERT_CAP);
+        // Earlier than the remaining batch head — must fire next, from
+        // the wheel; a later in-range push must slot into place too.
+        w.push(base + 5, n, 1111);
+        w.push(base + 14, n + 1, 2222);
+        assert_eq!(w.next_time(), Some(base + 5));
+        let order = drain(&mut w);
+        assert_eq!(order.len(), (n + 1) as usize);
+        assert_eq!(order[0], (base + 5, n));
+        assert_eq!(order[1], (base + 12, 1));
+        assert_eq!(order[2], (base + 14, 2));
+        assert_eq!(order[3], (base + 14, n + 1));
+        // The tail stays in exact (when, seq) order.
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn slab_and_allocation_counters_track_batches() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.slab_peak(), 0);
+        assert_eq!(w.grow_events(), 0);
+        // SLOT_PREALLOC entries fit without growing; one more grows the
+        // bucket exactly once.
+        for seq in 0..=SLOT_PREALLOC as u64 {
+            w.push(90, seq, 0u32);
+        }
+        assert_eq!(w.grow_events(), 1);
+        assert_eq!(w.pop().map(|(_, s, _)| s), Some(0));
+        // The whole slot (all 5 entries) was drained into the slab.
+        assert_eq!(w.slab_peak(), SLOT_PREALLOC + 1);
+        drain(&mut w);
+        assert_eq!(w.slab_peak(), SLOT_PREALLOC + 1);
     }
 
     #[test]
@@ -326,6 +852,18 @@ mod tests {
     }
 
     #[test]
+    fn clear_drops_batch_slab_entries_too() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0, 1);
+        w.push(10, 1, 2);
+        assert!(w.pop().is_some()); // second entry now lives in the slab
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_time(), None);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
     fn zero_time_and_max_range() {
         let mut w = TimerWheel::new();
         w.push(0, 0, 1);
@@ -334,3 +872,4 @@ mod tests {
         assert_eq!(drain(&mut w), vec![(0, 0), (u64::MAX, 1)]);
     }
 }
+

@@ -14,6 +14,7 @@ use tsuru_sim::{DetRng, SimTime};
 use tsuru_simnet::LinkId;
 
 use crate::block::{GroupId, JournalId, PairId, VolRef};
+use crate::hot::PrimaryIndex;
 use crate::journal::Journal;
 
 /// Replication mode of a group.
@@ -196,7 +197,7 @@ pub struct ReplicationFabric {
     groups: Vec<Group>,
     pairs: Vec<Pair>,
     journals: Vec<Journal>,
-    by_primary: BTreeMap<VolRef, Vec<PairId>>,
+    by_primary: PrimaryIndex,
 }
 
 impl ReplicationFabric {
@@ -227,15 +228,16 @@ impl ReplicationFabric {
     pub(crate) fn add_pair(&mut self, pair: Pair) -> PairId {
         let id = PairId(self.pairs.len() as u32);
         debug_assert_eq!(pair.id, id);
-        if let Some(legs) = self.by_primary.get(&pair.primary) {
-            assert!(
-                legs.iter().all(|&p| self.pair(p).secondary != pair.secondary),
-                "volume {} already replicates to {}",
-                pair.primary,
-                pair.secondary
-            );
-        }
-        self.by_primary.entry(pair.primary).or_default().push(id);
+        assert!(
+            self.by_primary
+                .legs(pair.primary)
+                .iter()
+                .all(|&p| self.pair(p).secondary != pair.secondary),
+            "volume {} already replicates to {}",
+            pair.primary,
+            pair.secondary
+        );
+        self.by_primary.attach(pair.primary, id);
         self.group_mut(pair.group).pairs.push(id);
         self.pairs.push(pair);
         id
@@ -252,12 +254,7 @@ impl ReplicationFabric {
             let p = self.pair(id);
             (p.primary, p.group)
         };
-        if let Some(legs) = self.by_primary.get_mut(&primary) {
-            legs.retain(|&p| p != id);
-            if legs.is_empty() {
-                self.by_primary.remove(&primary);
-            }
-        }
+        self.by_primary.detach(primary, id);
         self.group_mut(gid).pairs.retain(|&p| p != id);
     }
 
@@ -266,13 +263,13 @@ impl ReplicationFabric {
     /// The first pair whose primary volume is `vol`, if any (convenience
     /// for single-target deployments).
     pub fn pair_by_primary(&self, vol: VolRef) -> Option<PairId> {
-        self.by_primary.get(&vol).and_then(|v| v.first().copied())
+        self.by_primary.legs(vol).first().copied()
     }
 
     /// Every replication leg whose primary volume is `vol` (multi-target
     /// topologies: e.g. metro SDC plus WAN ADC from the same volume).
     pub fn pairs_by_primary(&self, vol: VolRef) -> &[PairId] {
-        self.by_primary.get(&vol).map(Vec::as_slice).unwrap_or(&[])
+        self.by_primary.legs(vol)
     }
 
     /// Borrow a pair.

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod acklog;
+pub mod arena;
 mod array;
 mod block;
 mod config;
@@ -28,8 +29,10 @@ mod device;
 pub mod engine;
 pub mod event;
 mod fabric;
+pub mod hot;
 mod journal;
 mod pool;
+pub mod shard;
 mod snapshot;
 mod status;
 pub mod supervisor;
@@ -37,6 +40,7 @@ mod volume;
 mod world;
 
 pub use acklog::{AckEntry, AckLog, PrefixReport};
+pub use arena::DenseArena;
 pub use array::{ArrayPerf, StorageArray, WriteError, DEFAULT_POOL_CAPACITY};
 pub use block::{
     block_from, content_hash, ArrayId, BlockBuf, GroupId, JournalId, PairId, SnapshotId, VolRef,
@@ -54,6 +58,7 @@ pub use fabric::{
 };
 pub use journal::{Journal, JournalEntry};
 pub use pool::{Pool, PoolId};
+pub use shard::{ShardLane, ShardLayout};
 pub use status::{group_status, render_pool_status, render_replication_status, GroupStatus};
 pub use snapshot::Snapshot;
 pub use supervisor::{RecoveryStage, Supervisor, SupervisorPolicy, SupervisorStats};

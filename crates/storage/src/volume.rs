@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::arena::DenseArena;
 use crate::block::{content_hash, BlockBuf, VolumeId, BLOCK_SIZE};
 
 /// Role a volume plays in replication, mirroring array semantics: secondary
@@ -14,13 +15,20 @@ pub enum VolumeRole {
     Secondary,
 }
 
-/// A logical volume: sparse block map plus bookkeeping.
+/// A logical volume: sparse block store plus bookkeeping.
+///
+/// Block payloads live in a dense-handle slab ([`DenseArena`]); the
+/// `BTreeMap` holds only `lba → handle`, which keeps the ascending-LBA
+/// iteration the consistency checkers rely on while overwrites — the hot
+/// path once a working set is allocated — update the slab in place without
+/// touching the tree.
 #[derive(Debug, Clone)]
 pub struct Volume {
     id: VolumeId,
     name: String,
     size_blocks: u64,
-    blocks: BTreeMap<u64, BlockBuf>,
+    index: BTreeMap<u64, u32>,
+    bufs: DenseArena<BlockBuf>,
     role: VolumeRole,
     writes: u64,
 }
@@ -33,7 +41,8 @@ impl Volume {
             id,
             name: name.into(),
             size_blocks,
-            blocks: BTreeMap::new(),
+            index: BTreeMap::new(),
+            bufs: DenseArena::new(),
             role: VolumeRole::Primary,
             writes: 0,
         }
@@ -71,7 +80,7 @@ impl Volume {
 
     /// Number of blocks that have ever been written.
     pub fn allocated_blocks(&self) -> usize {
-        self.blocks.len()
+        self.index.len()
     }
 
     /// Total write operations applied.
@@ -82,7 +91,7 @@ impl Volume {
     /// Read a block; `None` if it was never written.
     pub fn read(&self, lba: u64) -> Option<&BlockBuf> {
         assert!(lba < self.size_blocks, "lba {lba} out of range on {}", self.name);
-        self.blocks.get(&lba)
+        self.index.get(&lba).map(|&h| self.bufs.slot(h))
     }
 
     /// Overwrite a block, returning the previous content (for copy-on-write
@@ -95,26 +104,31 @@ impl Volume {
             "block write must be exactly {BLOCK_SIZE} bytes"
         );
         self.writes += 1;
-        self.blocks.insert(lba, data)
+        if let Some(&h) = self.index.get(&lba) {
+            return Some(std::mem::replace(self.bufs.slot_mut(h), data));
+        }
+        let h = self.bufs.insert(data);
+        self.index.insert(lba, h);
+        None
     }
 
     /// Remove all content (volume format).
     pub fn wipe(&mut self) {
-        self.blocks.clear();
+        self.index.clear();
+        self.bufs.clear();
     }
 
     /// Iterate over `(lba, block)` in ascending LBA order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &BlockBuf)> {
-        self.blocks.iter().map(|(&lba, b)| (lba, b))
+        self.index.iter().map(|(&lba, &h)| (lba, self.bufs.slot(h)))
     }
 
     /// Content fingerprint of every allocated block, keyed by LBA.
     /// Used by the write-order-fidelity checker to compare a secondary
     /// volume against the expected prefix state.
     pub fn content_hashes(&self) -> BTreeMap<u64, u64> {
-        self.blocks
-            .iter()
-            .map(|(&lba, b)| (lba, content_hash(b)))
+        self.iter_blocks()
+            .map(|(lba, b)| (lba, content_hash(b)))
             .collect()
     }
 
@@ -124,8 +138,9 @@ impl Volume {
             src.size_blocks <= self.size_blocks,
             "initial copy source larger than target"
         );
-        self.blocks = src.blocks.clone();
-        self.writes += src.blocks.len() as u64;
+        self.index = src.index.clone();
+        self.bufs = src.bufs.clone();
+        self.writes += src.index.len() as u64;
     }
 }
 

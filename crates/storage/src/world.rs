@@ -19,6 +19,8 @@ use crate::config::{EngineConfig, JournalFullPolicy};
 use crate::fabric::{
     Group, GroupMode, GroupState, Pair, ReplicationFabric, SuspendReason,
 };
+use crate::hot::TicketLanes;
+use crate::shard::ShardLayout;
 use crate::journal::JournalEntry;
 use crate::supervisor::{Supervisor, SupervisorPolicy};
 use crate::volume::VolumeRole;
@@ -106,11 +108,11 @@ pub struct StorageWorld {
     /// point where application drivers and image readers, which only
     /// share the world, find the same history.
     pub history: Recorder,
-    /// Per-volume host-write ordering: `(next_ticket, turn)`. A write takes
-    /// a ticket at submission and may only apply when its ticket equals the
-    /// volume's turn, so a stalled write can never be overtaken by a later
-    /// one (tail-block rewrites would otherwise go back in time).
-    write_order: BTreeMap<VolRef, (u64, u64)>,
+    /// Per-volume host-write ordering in SoA lanes. A write takes a ticket
+    /// at submission and may only apply when its ticket equals the volume's
+    /// turn, so a stalled write can never be overtaken by a later one
+    /// (tail-block rewrites would otherwise go back in time).
+    write_order: TicketLanes,
     /// Self-healing replication supervisor; absent unless armed via
     /// [`StorageWorld::enable_supervisor`] (experiments that hand-drive
     /// recovery keep it off).
@@ -134,7 +136,7 @@ impl StorageWorld {
             metrics: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
             history: Recorder::disabled(),
-            write_order: BTreeMap::new(),
+            write_order: TicketLanes::new(),
             supervisor: None,
             alerts: None,
             rng: DetRng::new(seed),
@@ -854,24 +856,19 @@ impl StorageWorld {
 
     /// Take the next per-volume issue ticket for an admitted host write.
     pub(crate) fn issue_write_ticket(&mut self, vol: VolRef) -> u64 {
-        let slot = self.write_order.entry(vol).or_insert((0, 0));
-        let ticket = slot.0;
-        slot.0 += 1;
-        ticket
+        self.write_order.issue(vol)
     }
 
     /// True iff `ticket` is the oldest host write to `vol` still pending
     /// its apply/reject decision.
     pub(crate) fn is_write_turn(&self, vol: VolRef, ticket: u64) -> bool {
-        self.write_order.get(&vol).map(|s| s.1) == Some(ticket)
+        self.write_order.is_turn(vol, ticket)
     }
 
     /// Retire the volume's current turn holder once it has applied (or been
     /// rejected), unblocking the next ticket.
     pub(crate) fn retire_write_ticket(&mut self, vol: VolRef) {
-        if let Some(slot) = self.write_order.get_mut(&vol) {
-            slot.1 += 1;
-        }
+        self.write_order.retire(vol)
     }
 
     /// Offer a frame on a link.
@@ -912,6 +909,41 @@ impl StorageWorld {
         self.metrics
             .sample(names::JOURNAL_OCCUPANCY, now, occupancy as f64);
         self.metrics.sample(names::RPO_LAG, now, lag as f64);
+    }
+
+    /// Sample per-shard journal occupancy and apply lag into the metrics
+    /// registry's shard lanes, plus the aggregate health series the E11
+    /// SLO engine watches — one walk over the layout serves both readers.
+    /// No-op (cheap) unless sampling is enabled.
+    pub fn sample_shard_series(&mut self, layout: &ShardLayout, now: SimTime) {
+        if !self.metrics.sampling_enabled() {
+            return;
+        }
+        let mut total_occupancy = 0u64;
+        let mut total_lag = 0u64;
+        for (shard, lane) in layout.iter() {
+            let mut occupancy = 0u64;
+            let mut lag = 0u64;
+            for &gid in &lane.groups {
+                let g = self.fabric.group(gid);
+                if let Some(jid) = g.primary_jnl {
+                    occupancy += self.fabric.journal(jid).used_bytes();
+                }
+                for &pid in &g.pairs {
+                    let p = self.fabric.pair(pid);
+                    lag += p.acked_writes.saturating_sub(p.applied_writes);
+                }
+            }
+            self.metrics
+                .sample_shard(names::SHARD_JOURNAL_OCCUPANCY, shard, now, occupancy as f64);
+            self.metrics
+                .sample_shard(names::SHARD_APPLY_LAG, shard, now, lag as f64);
+            total_occupancy += occupancy;
+            total_lag += lag;
+        }
+        self.metrics.sample(names::HEALTH_RPO_LAG, now, total_lag as f64);
+        self.metrics
+            .sample(names::HEALTH_JOURNAL_OCCUPANCY, now, total_occupancy as f64);
     }
 }
 

@@ -114,4 +114,10 @@ pub mod names {
     /// Health series: replication groups whose pair state is degraded
     /// (any member not PAIR).
     pub const HEALTH_GROUPS_DEGRADED: &str = "health.groups_degraded";
+    /// Per-shard series: primary-journal occupancy in bytes across the
+    /// shard's groups (sampled via [`super::MetricsRegistry::sample_shard`]).
+    pub const SHARD_JOURNAL_OCCUPANCY: &str = "shard.journal_occupancy_bytes";
+    /// Per-shard series: acked-but-unapplied writes across the shard's
+    /// pairs (the shard's apply lag).
+    pub const SHARD_APPLY_LAG: &str = "shard.apply_lag_writes";
 }

@@ -22,6 +22,7 @@ pub struct MetricsRegistry {
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
     series: BTreeMap<&'static str, TimeSeries>,
+    shard_series: BTreeMap<(&'static str, u32), TimeSeries>,
     sampling: bool,
 }
 
@@ -99,9 +100,53 @@ impl MetricsRegistry {
         self.series.get(name)
     }
 
+    /// Append an observation to the shard-`shard` lane of series `name` —
+    /// gated by [`MetricsRegistry::enable_sampling`] exactly like
+    /// [`MetricsRegistry::sample`]. Sharded worlds sample journal
+    /// occupancy and apply lag per lane through this, so E12 tables and
+    /// the SLO engine read the same per-shard signals.
+    pub fn sample_shard(&mut self, name: &'static str, shard: u32, t: SimTime, v: f64) {
+        if !self.sampling {
+            return;
+        }
+        self.shard_series.entry((name, shard)).or_default().push(t, v);
+    }
+
+    /// The shard-`shard` lane of series `name`, if ever sampled.
+    pub fn shard_series(&self, name: &str, shard: u32) -> Option<&TimeSeries> {
+        self.shard_series
+            .iter()
+            .find(|(&(n, s), _)| n == name && s == shard)
+            .map(|(_, ts)| ts)
+    }
+
+    /// All sampled lanes of series `name`, in ascending shard order.
+    pub fn shard_lanes<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (u32, &'a TimeSeries)> + 'a {
+        self.shard_series
+            .iter()
+            .filter(move |(&(n, _), _)| n == name)
+            .map(|(&(_, s), ts)| (s, ts))
+    }
+
     /// A serializable point-in-time snapshot: counters and gauges by
     /// name, histogram summaries, and per-series value summaries.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut series: Vec<(String, SeriesSummary)> = self
+            .series
+            .iter()
+            .map(|(&k, s)| (k.to_string(), SeriesSummary::of(s)))
+            // Shard lanes ride in the same list as `name#shard`, so the
+            // snapshot schema stays unchanged for unsharded worlds.
+            .chain(
+                self.shard_series
+                    .iter()
+                    .map(|(&(k, sh), s)| (format!("{k}#{sh}"), SeriesSummary::of(s))),
+            )
+            .collect();
+        series.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot {
             counters: self
                 .counters
@@ -118,11 +163,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(&k, h)| (k.to_string(), h.summary()))
                 .collect(),
-            series: self
-                .series
-                .iter()
-                .map(|(&k, s)| (k.to_string(), SeriesSummary::of(s)))
-                .collect(),
+            series,
         }
     }
 }
@@ -226,6 +267,33 @@ mod tests {
         let s = m.series("rpo.lag_writes").expect("sampling enabled");
         assert_eq!(s.len(), 2);
         assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn shard_lanes_are_gated_and_keyed_per_shard() {
+        let mut m = MetricsRegistry::new();
+        m.sample_shard("shard.apply_lag_writes", 0, SimTime::ZERO, 1.0);
+        assert!(m.shard_series("shard.apply_lag_writes", 0).is_none());
+        m.enable_sampling();
+        m.sample_shard("shard.apply_lag_writes", 1, SimTime::ZERO, 3.0);
+        m.sample_shard("shard.apply_lag_writes", 0, SimTime::from_millis(1), 2.0);
+        m.sample_shard("shard.apply_lag_writes", 1, SimTime::from_millis(1), 5.0);
+        assert_eq!(
+            m.shard_series("shard.apply_lag_writes", 1).map(|s| s.len()),
+            Some(2)
+        );
+        let lanes: Vec<(u32, u64)> = m
+            .shard_lanes("shard.apply_lag_writes")
+            .map(|(s, ts)| (s, ts.len() as u64))
+            .collect();
+        assert_eq!(lanes, vec![(0, 1), (1, 2)]);
+        // Lanes surface in the snapshot as `name#shard`.
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.series.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["shard.apply_lag_writes#0", "shard.apply_lag_writes#1"]
+        );
     }
 
     #[test]
